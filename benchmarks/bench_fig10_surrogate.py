@@ -1,0 +1,25 @@
+"""Benchmark regenerating Figures 10 and 11: latency-model accuracy."""
+
+from repro.experiments import fig10_11_surrogate
+
+
+def test_fig10_11_latency_model_accuracy(benchmark, record_results):
+    study = benchmark.pedantic(
+        fig10_11_surrogate.run,
+        kwargs={"samples_per_layer": 8, "training_epochs": 300,
+                "dosa_workloads": ("bert",), "dosa_gd_steps": 100,
+                "dosa_rounding_period": 50, "seed": 0},
+        rounds=1, iterations=1,
+    )
+    record_results(
+        benchmark,
+        random_mapping_spearman=study.random_mapping_accuracy,
+        dosa_mapping_spearman=study.dosa_mapping_accuracy,
+        paper_random_mapping={"analytical": 0.87, "dnn_only": 0.84, "analytical_dnn": 0.92},
+        paper_dosa_mapping={"analytical": 0.97, "dnn_only": 0.79, "analytical_dnn": 0.97},
+    )
+    # Shape checks: every model ranks latencies far better than chance, and the
+    # analytical/combined models stay accurate on unseen DOSA mappings.
+    assert study.random_mapping_accuracy["analytical"] > 0.5
+    assert study.random_mapping_accuracy["analytical_dnn"] > 0.5
+    assert study.dosa_mapping_accuracy["analytical_dnn"] > 0.5

@@ -1,0 +1,23 @@
+"""Benchmark regenerating Figure 4: differentiable-model correlation."""
+
+from repro.experiments import fig4_correlation
+
+
+def test_fig4_model_correlation(benchmark, record_results):
+    stats = benchmark.pedantic(
+        fig4_correlation.run,
+        kwargs={"num_configs": 10, "mappings_per_config": 20, "seed": 0},
+        rounds=1, iterations=1,
+    )
+    record_results(
+        benchmark,
+        latency_mae_pct=stats["latency"].mean_absolute_error_pct,
+        energy_mae_pct=stats["energy"].mean_absolute_error_pct,
+        edp_mae_pct=stats["edp"].mean_absolute_error_pct,
+        edp_within_1pct=stats["edp"].within_one_pct,
+        paper_latency_mae_pct=0.01,
+        paper_energy_mae_pct=0.18,
+    )
+    # Reproduction check: the differentiable model tracks the reference model.
+    assert stats["latency"].mean_absolute_error_pct < 1.0
+    assert stats["edp"].within_one_pct > 0.9

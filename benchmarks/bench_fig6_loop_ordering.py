@@ -1,0 +1,26 @@
+"""Benchmark regenerating Figure 6: loop-ordering strategy comparison."""
+
+from repro.experiments import fig6_loop_ordering
+
+
+def test_fig6_loop_ordering_strategies(benchmark, record_results):
+    results = benchmark.pedantic(
+        fig6_loop_ordering.run,
+        kwargs={"workloads": ("bert",), "num_start_points": 2, "gd_steps": 120,
+                "rounding_period": 60, "seed": 0},
+        rounds=1, iterations=1,
+    )
+    bert = results["bert"]
+    record_results(
+        benchmark,
+        baseline_edp=bert["baseline"],
+        iterate_edp=bert["iterate"],
+        softmax_edp=bert["softmax"],
+        iterate_improvement=bert["baseline"] / bert["iterate"],
+        softmax_improvement=bert["baseline"] / bert["softmax"],
+        paper_iterate_improvement=1.70,
+        paper_softmax_improvement=1.58,
+    )
+    assert all(edp > 0 for edp in bert.values())
+    # Loop-ordering search should not hurt the searched design.
+    assert bert["iterate"] <= bert["baseline"] * 1.05

@@ -1,0 +1,30 @@
+"""Benchmark regenerating Figure 7 / Section 6.3: DOSA vs random vs BB-BO."""
+
+from repro.experiments import fig7_cosearch
+
+
+def test_fig7_cosearch_sample_efficiency(benchmark, record_results):
+    results = benchmark.pedantic(
+        fig7_cosearch.run,
+        kwargs={
+            "workloads": ("resnet50", "bert"),
+            "num_start_points": 2, "gd_steps": 150, "rounding_period": 75,
+            "random_hardware_designs": 4, "random_mappings_per_layer": 60,
+            "bo_training_hardware": 6, "bo_mappings_per_layer": 20, "bo_candidates": 30,
+            "seed": 0,
+        },
+        rounds=1, iterations=1,
+    )
+    summary = fig7_cosearch.summarize(results)
+    record_results(
+        benchmark,
+        geomean_vs_random=summary["geomean_vs_random"],
+        geomean_vs_bayesian=summary["geomean_vs_bayesian"],
+        paper_geomean_vs_random=2.80,
+        paper_geomean_vs_bayesian=12.59,
+        per_workload={r.workload: {"dosa": r.dosa_edp, "random": r.random_edp,
+                                   "bayesian": r.bayesian_edp} for r in results},
+    )
+    # Shape check: DOSA wins on geometric mean against both baselines.
+    assert summary["geomean_vs_random"] > 1.0
+    assert summary["geomean_vs_bayesian"] > 1.0

@@ -1,0 +1,34 @@
+"""Benchmark regenerating Figure 9 / Section 6.4: hardware vs mapping attribution."""
+
+from repro.experiments import fig9_separation
+
+
+def test_fig9_hw_vs_mapping_separation(benchmark, record_results):
+    results = benchmark.pedantic(
+        fig9_separation.run,
+        kwargs={"workloads": ("resnet50", "bert"), "runs_per_workload": 1,
+                "num_start_points": 1, "gd_steps": 400, "rounding_period": 100,
+                "random_mappings_per_layer": 50, "seed": 0},
+        rounds=1, iterations=1,
+    )
+    summary = fig9_separation.summarize(results)
+    record_results(
+        benchmark,
+        end_over_start=summary["end_over_start"],
+        hw_only_constant_mapper=summary["hw_only_constant_mapper"],
+        dosa_mapping_vs_cosa=summary["dosa_mapping_vs_cosa"],
+        dosa_mapping_vs_random=summary["dosa_mapping_vs_random"],
+        paper_end_over_start=5.75,
+        paper_hw_only=3.21,
+        paper_vs_cosa=1.79,
+        paper_vs_random=2.78,
+    )
+    # Shape checks at reduced scale: the searched design improves on its start
+    # point, and the hardware it selects already helps under a constant
+    # mapper.  The mapping-quality factors (paper: 1.79x vs CoSA, 2.78x vs a
+    # 1000-sample random mapper) need the paper-scale GD budget to materialize
+    # and are therefore recorded in extra_info rather than asserted here; run
+    # `python -m repro.experiments.fig9_separation` for the full comparison.
+    assert summary["end_over_start"] > 1.0
+    assert summary["hw_only_constant_mapper"] > 1.0
+    assert summary["dosa_mapping_vs_random"] > 0.0

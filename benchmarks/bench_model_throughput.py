@@ -1,0 +1,56 @@
+"""Micro-benchmarks of the two performance models and one GD step.
+
+Not tied to a specific figure; these document the evaluation throughput that
+makes the one-loop search practical (the differentiable model replaces
+thousands of reference-model samples with gradient steps of comparable cost).
+"""
+
+from repro.arch import GemminiSpec, HardwareConfig
+from repro.autodiff import Adam
+from repro.core.dmodel import (
+    DifferentiableHardware,
+    DifferentiableModel,
+    LayerFactors,
+    network_edp_loss,
+    validity_penalty,
+)
+from repro.mapping import cosa_mapping
+from repro.timeloop import evaluate_mapping
+from repro.workloads import get_network
+
+CONFIG = HardwareConfig(16, 32, 128)
+
+
+def test_reference_model_evaluation(benchmark):
+    mapping = cosa_mapping(get_network("resnet50").layers[5], CONFIG)
+    spec = GemminiSpec(CONFIG)
+    result = benchmark(evaluate_mapping, mapping, spec)
+    assert result.edp > 0
+
+
+def test_differentiable_model_evaluation(benchmark):
+    mapping = cosa_mapping(get_network("resnet50").layers[5], CONFIG)
+    factors = LayerFactors.from_mapping(mapping)
+    hardware = DifferentiableHardware.from_config(CONFIG)
+    performance = benchmark(DifferentiableModel.evaluate_layer, factors, hardware)
+    assert float(performance.edp.data) > 0
+
+
+def test_gradient_descent_step_bert(benchmark):
+    network = get_network("bert")
+    factors = [LayerFactors.from_mapping(cosa_mapping(layer, CONFIG))
+               for layer in network.layers]
+    repeats = [layer.repeats for layer in network.layers]
+    optimizer = Adam([p for f in factors for p in f.parameters()], lr=0.05)
+
+    def step():
+        optimizer.zero_grad()
+        hardware = DifferentiableModel.derive_hardware(factors)
+        performances = DifferentiableModel.evaluate_network(factors, hardware)
+        loss = network_edp_loss(performances, repeats) + 1e9 * validity_penalty(factors)
+        loss.backward()
+        optimizer.step()
+        return float(loss.data)
+
+    loss_value = benchmark(step)
+    assert loss_value > 0

@@ -1,0 +1,54 @@
+"""Quickstart: co-search hardware and mappings for a small DNN with DOSA.
+
+Runs the one-loop gradient-descent search on a three-layer network with
+reduced settings (a couple of minutes on a laptop), then prints the derived
+hardware configuration, the best mapping of each layer, and the improvement
+over the search's own starting point.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import DosaSearcher, DosaSettings, GemminiSpec, evaluate_network_mappings
+from repro.workloads import conv2d_layer, matmul_layer
+from repro.workloads.networks import Network
+
+
+def build_workload() -> Network:
+    """A small image-classification-style workload: stem conv, block, classifier."""
+    return Network(name="quickstart", layers=[
+        conv2d_layer(3, 64, 56, kernel_size=7, stride=2, name="stem"),
+        conv2d_layer(64, 64, 56, kernel_size=3, name="block", repeats=4),
+        matmul_layer(1, 2048, 1000, name="classifier"),
+    ])
+
+
+def main() -> None:
+    network = build_workload()
+    print(network.describe())
+    print()
+
+    settings = DosaSettings(
+        num_start_points=2,
+        gd_steps=300,
+        rounding_period=100,
+        seed=0,
+    )
+    result = DosaSearcher(network, settings).search()
+
+    start = result.start_points[0]
+    start_edp = evaluate_network_mappings(start.mappings, GemminiSpec(start.hardware)).edp
+
+    print("Search finished.")
+    print(f"  samples used:        {result.trace.total_samples}")
+    print(f"  start-point EDP:     {start_edp:.4e}")
+    print(f"  best EDP found:      {result.best_edp:.4e}")
+    print(f"  improvement:         {start_edp / result.best_edp:.2f}x")
+    print(f"  derived hardware:    {result.best.hardware.describe()}")
+    print()
+    for mapping in result.best.mappings:
+        print(mapping.describe())
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+"""Reproduction of "DOSA: Differentiable Model-Based One-Loop Search for DNN
+Accelerators" (Hong et al., MICRO 2023).
+
+The package is organized bottom-up:
+
+* :mod:`repro.autodiff` — reverse-mode automatic differentiation (PyTorch substitute),
+* :mod:`repro.workloads` — DNN layer and network definitions (Table 6),
+* :mod:`repro.arch` — the Gemmini-style accelerator and Table-2 cost model,
+* :mod:`repro.mapping` — mappings, rounding, random and CoSA-style mappers,
+* :mod:`repro.timeloop` — the iterative reference analytical model (Timeloop stand-in),
+* :mod:`repro.core` — the differentiable model (Eq. 1-18) and the DOSA searcher,
+* :mod:`repro.search` — random-search and Bayesian-optimization baselines,
+* :mod:`repro.surrogate` — the synthetic Gemmini-RTL simulator and learned latency models,
+* :mod:`repro.experiments` — one harness per paper table/figure.
+
+Quick start::
+
+    from repro import DosaSearcher, DosaSettings, get_network
+
+    result = DosaSearcher(get_network("resnet50"), DosaSettings(seed=0)).search()
+    print(result.best.hardware.describe(), result.best_edp)
+"""
+
+from repro.arch import GemminiSpec, HardwareConfig
+from repro.core.optimizer import DosaSearcher, DosaSettings, LoopOrderingStrategy
+from repro.mapping import Mapping, cosa_mapping, random_mapping
+from repro.timeloop import evaluate_mapping, evaluate_network_mappings
+from repro.workloads import LayerDims, conv2d_layer, get_network, matmul_layer
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "GemminiSpec",
+    "HardwareConfig",
+    "DosaSearcher",
+    "DosaSettings",
+    "LoopOrderingStrategy",
+    "Mapping",
+    "cosa_mapping",
+    "random_mapping",
+    "evaluate_mapping",
+    "evaluate_network_mappings",
+    "LayerDims",
+    "conv2d_layer",
+    "matmul_layer",
+    "get_network",
+    "__version__",
+]

@@ -1,0 +1,78 @@
+"""First-order area model for the searched hardware parameters.
+
+The paper notes that DOSA's modular objective could include area "in future
+work" (Section 6.5); this module provides that extension so area-delay or
+area-constrained studies can be layered on the existing search results.  The
+model follows the usual pre-RTL scaling assumptions for a 40 nm-class process:
+PE area scales linearly with the MAC count, and SRAM area scales linearly with
+capacity plus a fixed bank overhead — the same structure CACTI-style
+estimators expose for these capacities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.config import HardwareConfig
+
+# Area coefficients in mm^2 (40 nm-class, 8-bit MACs; absolute scale is only
+# meaningful relative to other designs evaluated with the same coefficients).
+PE_AREA_MM2 = 0.0015                 # one 8-bit MAC + pipeline registers
+SRAM_AREA_MM2_PER_KB = 0.0075        # dense single-port SRAM
+SRAM_BANK_OVERHEAD_MM2 = 0.01        # decoder / sense-amp overhead per array
+DRAM_CONTROLLER_AREA_MM2 = 0.35      # fixed: PHY + controller
+NOC_AREA_MM2_PER_PE_ROW = 0.006      # operand distribution per array row/column
+
+
+@dataclass(frozen=True)
+class AreaBreakdown:
+    """Area of one hardware configuration, split by component."""
+
+    pe_array_mm2: float
+    accumulator_mm2: float
+    scratchpad_mm2: float
+    interconnect_mm2: float
+    dram_interface_mm2: float
+
+    @property
+    def total_mm2(self) -> float:
+        return (self.pe_array_mm2 + self.accumulator_mm2 + self.scratchpad_mm2
+                + self.interconnect_mm2 + self.dram_interface_mm2)
+
+    def dominant_component(self) -> str:
+        """Name of the component contributing the most area."""
+        components = {
+            "pe_array": self.pe_array_mm2,
+            "accumulator": self.accumulator_mm2,
+            "scratchpad": self.scratchpad_mm2,
+            "interconnect": self.interconnect_mm2,
+            "dram_interface": self.dram_interface_mm2,
+        }
+        return max(components, key=components.get)
+
+
+def estimate_area(config: HardwareConfig) -> AreaBreakdown:
+    """First-order area estimate of ``config`` in mm^2."""
+    return AreaBreakdown(
+        pe_array_mm2=PE_AREA_MM2 * config.num_pes,
+        accumulator_mm2=(SRAM_AREA_MM2_PER_KB * config.accumulator_kb
+                         + SRAM_BANK_OVERHEAD_MM2),
+        scratchpad_mm2=(SRAM_AREA_MM2_PER_KB * config.scratchpad_kb
+                        + SRAM_BANK_OVERHEAD_MM2),
+        interconnect_mm2=NOC_AREA_MM2_PER_PE_ROW * 2.0 * config.pe_dim,
+        dram_interface_mm2=DRAM_CONTROLLER_AREA_MM2,
+    )
+
+
+def area_delay_product(config: HardwareConfig, latency_cycles: float) -> float:
+    """Area-delay product, the secondary design metric mentioned in Section 2."""
+    if latency_cycles <= 0:
+        raise ValueError("latency must be positive")
+    return estimate_area(config).total_mm2 * latency_cycles
+
+
+def fits_area_budget(config: HardwareConfig, budget_mm2: float) -> bool:
+    """Whether ``config`` fits under an area budget (design-budget constraint)."""
+    if budget_mm2 <= 0:
+        raise ValueError("area budget must be positive")
+    return estimate_area(config).total_mm2 <= budget_mm2

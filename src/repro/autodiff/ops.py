@@ -1,0 +1,235 @@
+"""Functional operations on :class:`~repro.autodiff.tensor.Tensor` values.
+
+These are the building blocks of the DOSA differentiable model: products of
+tiling factors, smooth maxima for the roofline latency, the softmax used for
+gradient-based loop-ordering (paper Section 5.2.2), and the hinge penalty used
+to keep tiling factors valid (Equation 18).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.autodiff.tensor import Tensor
+
+TensorLike = "Tensor | float | int | np.ndarray"
+
+
+def _as_tensor(value: TensorLike) -> Tensor:
+    return value if isinstance(value, Tensor) else Tensor(value)
+
+
+# --------------------------------------------------------------------------- #
+# Elementwise functions
+# --------------------------------------------------------------------------- #
+def exp(x: TensorLike) -> Tensor:
+    return _as_tensor(x).exp()
+
+
+def log(x: TensorLike) -> Tensor:
+    return _as_tensor(x).log()
+
+
+def sqrt(x: TensorLike) -> Tensor:
+    return _as_tensor(x).sqrt()
+
+
+def relu(x: TensorLike) -> Tensor:
+    x = _as_tensor(x)
+    mask = (x.data > 0).astype(np.float64)
+    out_data = x.data * mask
+
+    def backward(grad: np.ndarray):
+        return ((x, grad * mask),)
+
+    return x._make_child(out_data, (x,), backward)
+
+
+def sigmoid(x: TensorLike) -> Tensor:
+    x = _as_tensor(x)
+    out_data = 1.0 / (1.0 + np.exp(-x.data))
+
+    def backward(grad: np.ndarray):
+        return ((x, grad * out_data * (1.0 - out_data)),)
+
+    return x._make_child(out_data, (x,), backward)
+
+
+def tanh(x: TensorLike) -> Tensor:
+    x = _as_tensor(x)
+    out_data = np.tanh(x.data)
+
+    def backward(grad: np.ndarray):
+        return ((x, grad * (1.0 - out_data**2)),)
+
+    return x._make_child(out_data, (x,), backward)
+
+
+def maximum(a: TensorLike, b: TensorLike) -> Tensor:
+    """Elementwise maximum with subgradient split evenly at ties."""
+    a = _as_tensor(a)
+    b = _as_tensor(b)
+    out_data = np.maximum(a.data, b.data)
+    a_mask = (a.data > b.data).astype(np.float64)
+    b_mask = (b.data > a.data).astype(np.float64)
+    tie = (a.data == b.data).astype(np.float64) * 0.5
+    a_mask = a_mask + tie
+    b_mask = b_mask + tie
+
+    def backward(grad: np.ndarray):
+        return ((a, grad * a_mask), (b, grad * b_mask))
+
+    return a._make_child(out_data, (a, b), backward)
+
+
+def minimum(a: TensorLike, b: TensorLike) -> Tensor:
+    """Elementwise minimum (dual of :func:`maximum`)."""
+    return -maximum(-_as_tensor(a), -_as_tensor(b))
+
+
+def clamp_min(x: TensorLike, lower: float) -> Tensor:
+    """Clamp ``x`` from below at ``lower`` (gradient passes where x > lower)."""
+    return maximum(_as_tensor(x), Tensor(lower))
+
+
+def clamp_max(x: TensorLike, upper: float) -> Tensor:
+    """Clamp ``x`` from above at ``upper``."""
+    return minimum(_as_tensor(x), Tensor(upper))
+
+
+def where(condition: np.ndarray, a: TensorLike, b: TensorLike) -> Tensor:
+    """Differentiable selection: ``a`` where ``condition`` is true, else ``b``.
+
+    ``condition`` is a plain boolean array (no gradient flows through it).
+    """
+    a = _as_tensor(a)
+    b = _as_tensor(b)
+    cond = np.asarray(condition, dtype=bool)
+    out_data = np.where(cond, a.data, b.data)
+    a_mask = cond.astype(np.float64)
+    b_mask = 1.0 - a_mask
+
+    def backward(grad: np.ndarray):
+        return ((a, grad * a_mask), (b, grad * b_mask))
+
+    return a._make_child(out_data, (a, b), backward)
+
+
+def hinge_below(x: TensorLike, threshold: float = 1.0) -> Tensor:
+    """``max(threshold - x, 0)`` summed over all elements.
+
+    This is the validity penalty of Equation 18, which discourages the
+    optimizer from pushing tiling factors below 1.
+    """
+    x = _as_tensor(x)
+    return relu(Tensor(threshold) - x).sum()
+
+
+# --------------------------------------------------------------------------- #
+# Reductions and combinations
+# --------------------------------------------------------------------------- #
+def total_sum(values: Iterable[TensorLike]) -> Tensor:
+    """Sum of an iterable of tensors/scalars (at least one element required)."""
+    values = [_as_tensor(v) for v in values]
+    if not values:
+        raise ValueError("total_sum of an empty sequence")
+    out = values[0]
+    for value in values[1:]:
+        out = out + value
+    return out
+
+
+def total_prod(values: Iterable[TensorLike]) -> Tensor:
+    """Product of an iterable of tensors/scalars (empty product is 1.0)."""
+    values = [_as_tensor(v) for v in values]
+    out = Tensor(1.0)
+    for value in values:
+        out = out * value
+    return out
+
+
+def mean(values: Iterable[TensorLike]) -> Tensor:
+    values = list(values)
+    return total_sum(values) / float(len(values))
+
+
+def stack(values: Sequence[TensorLike]) -> Tensor:
+    """Stack scalars/1-D tensors of identical shape into a new leading axis."""
+    tensors = [_as_tensor(v) for v in values]
+    if not tensors:
+        raise ValueError("stack of an empty sequence")
+    out_data = np.stack([t.data for t in tensors])
+    shapes = [t.data.shape for t in tensors]
+
+    def backward(grad: np.ndarray):
+        return tuple((t, grad[i].reshape(shapes[i])) for i, t in enumerate(tensors))
+
+    return tensors[0]._make_child(out_data, tuple(tensors), backward)
+
+
+def concat(values: Sequence[TensorLike], axis: int = 0) -> Tensor:
+    """Concatenate tensors along ``axis``."""
+    tensors = [_as_tensor(v) for v in values]
+    if not tensors:
+        raise ValueError("concat of an empty sequence")
+    out_data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.data.shape[axis] for t in tensors]
+    boundaries = np.cumsum([0] + sizes)
+
+    def backward(grad: np.ndarray):
+        pieces = []
+        for i, t in enumerate(tensors):
+            index = [slice(None)] * grad.ndim
+            index[axis] = slice(int(boundaries[i]), int(boundaries[i + 1]))
+            pieces.append((t, grad[tuple(index)]))
+        return tuple(pieces)
+
+    return tensors[0]._make_child(out_data, tuple(tensors), backward)
+
+
+def softmax(x: TensorLike, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``.
+
+    Used by the gradient-based loop-ordering strategy (Equation 16) to weight
+    per-ordering energies/latencies by their inverse EDP.
+    """
+    x = _as_tensor(x)
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    exps = np.exp(shifted)
+    out_data = exps / exps.sum(axis=axis, keepdims=True)
+
+    def backward(grad: np.ndarray):
+        dot = (grad * out_data).sum(axis=axis, keepdims=True)
+        return ((x, out_data * (grad - dot)),)
+
+    return x._make_child(out_data, (x,), backward)
+
+
+def log_sum_exp(x: TensorLike, axis: int = -1) -> Tensor:
+    """Numerically stable log-sum-exp reduction along ``axis``."""
+    x = _as_tensor(x)
+    max_data = x.data.max(axis=axis, keepdims=True)
+    shifted = x - Tensor(max_data)
+    summed = shifted.exp().sum(axis=axis, keepdims=True)
+    return summed.log() + Tensor(max_data.reshape(summed.data.shape))
+
+
+def smooth_max(values: Sequence[TensorLike], sharpness: float = 32.0) -> Tensor:
+    """Differentiable approximation of max via log-sum-exp.
+
+    As ``sharpness`` grows this approaches the exact maximum; it is offered as
+    an alternative to the piecewise-linear :func:`maximum` for experiments on
+    gradient smoothness, though the paper (and our default model) uses the
+    exact max with subgradients.
+    """
+    stacked = stack(values) * sharpness
+    return log_sum_exp(stacked, axis=0).reshape(()) / sharpness
+
+
+def dot(a: Sequence[TensorLike] | Tensor, b: Sequence[TensorLike] | Tensor) -> Tensor:
+    """Inner product of two vectors (lists of scalars or 1-D tensors)."""
+    a_tensor = a if isinstance(a, Tensor) else stack(list(a))
+    b_tensor = b if isinstance(b, Tensor) else stack(list(b))
+    return (a_tensor * b_tensor).sum()

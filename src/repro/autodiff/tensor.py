@@ -1,0 +1,480 @@
+"""The :class:`Tensor` type: a NumPy array with reverse-mode autodiff.
+
+Every differentiable quantity in the DOSA model — tiling factors, capacities,
+access counts, latencies, energies, and the final EDP loss — is represented as
+a ``Tensor``.  Calling :meth:`Tensor.backward` on a scalar loss walks the
+recorded computation graph in reverse topological order and accumulates
+gradients into every leaf tensor created with ``requires_grad=True``.
+
+The implementation intentionally mirrors the small, explicit style of
+micro-autograd engines: each operation stores its parents and a closure that
+propagates the incoming gradient.  Broadcasting is supported; gradients are
+summed back to the parent's shape before accumulation.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, Iterable, Iterator, Sequence
+
+import numpy as np
+
+ArrayLike = "Tensor | np.ndarray | float | int | list | tuple"
+
+_GRAD_ENABLED = True
+
+
+@contextlib.contextmanager
+def no_grad() -> Iterator[None]:
+    """Context manager that disables graph recording (like ``torch.no_grad``)."""
+    global _GRAD_ENABLED
+    previous = _GRAD_ENABLED
+    _GRAD_ENABLED = False
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED = previous
+
+
+def grad_enabled() -> bool:
+    """Return whether operations currently record the computation graph."""
+    return _GRAD_ENABLED
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` over broadcast dimensions so it matches ``shape``."""
+    if grad.shape == shape:
+        return grad
+    # Remove leading broadcast axes.
+    while grad.ndim > len(shape):
+        grad = grad.sum(axis=0)
+    # Sum over axes that were size 1 in the original shape.
+    for axis, size in enumerate(shape):
+        if size == 1 and grad.shape[axis] != 1:
+            grad = grad.sum(axis=axis, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A NumPy-backed tensor participating in a dynamic autodiff graph."""
+
+    __slots__ = ("data", "grad", "requires_grad", "_parents", "_backward", "name")
+
+    # Make numpy defer to Tensor for mixed operations such as ``2.0 * tensor``.
+    __array_priority__ = 200
+
+    def __init__(
+        self,
+        data: ArrayLike,
+        requires_grad: bool = False,
+        name: str | None = None,
+    ) -> None:
+        if isinstance(data, Tensor):
+            data = data.data
+        self.data = np.asarray(data, dtype=np.float64)
+        self.grad: np.ndarray | None = None
+        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self._parents: tuple[Tensor, ...] = ()
+        self._backward: Callable[[np.ndarray], None] | None = None
+        self.name = name
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def zeros(shape: Sequence[int] | int, requires_grad: bool = False) -> "Tensor":
+        return Tensor(np.zeros(shape), requires_grad=requires_grad)
+
+    @staticmethod
+    def ones(shape: Sequence[int] | int, requires_grad: bool = False) -> "Tensor":
+        return Tensor(np.ones(shape), requires_grad=requires_grad)
+
+    @staticmethod
+    def full(shape: Sequence[int] | int, value: float, requires_grad: bool = False) -> "Tensor":
+        return Tensor(np.full(shape, value, dtype=np.float64), requires_grad=requires_grad)
+
+    @staticmethod
+    def as_tensor(value: ArrayLike) -> "Tensor":
+        return value if isinstance(value, Tensor) else Tensor(value)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    def item(self) -> float:
+        """Return the value of a single-element tensor as a Python float."""
+        return float(self.data.reshape(-1)[0]) if self.data.size == 1 else self._raise_item()
+
+    def _raise_item(self) -> float:
+        raise ValueError(f"item() requires a single-element tensor, got shape {self.shape}")
+
+    def numpy(self) -> np.ndarray:
+        """Return a copy of the underlying data as a NumPy array."""
+        return self.data.copy()
+
+    def detach(self) -> "Tensor":
+        """Return a new tensor sharing data but detached from the graph."""
+        return Tensor(self.data)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        grad_flag = ", requires_grad=True" if self.requires_grad else ""
+        label = f", name={self.name!r}" if self.name else ""
+        return f"Tensor({np.array2string(self.data, precision=4)}{grad_flag}{label})"
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    # ------------------------------------------------------------------ #
+    # Graph construction
+    # ------------------------------------------------------------------ #
+    def _make_child(
+        self,
+        data: np.ndarray,
+        parents: tuple["Tensor", ...],
+        backward: Callable[[np.ndarray], None],
+    ) -> "Tensor":
+        child = Tensor(data)
+        if _GRAD_ENABLED and any(p.requires_grad for p in parents):
+            child.requires_grad = True
+            child._parents = parents
+            child._backward = backward
+        return child
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        grad = _unbroadcast(np.asarray(grad, dtype=np.float64), self.data.shape)
+        if self.grad is None:
+            self.grad = grad.copy()
+        else:
+            self.grad = self.grad + grad
+
+    def zero_grad(self) -> None:
+        """Reset the accumulated gradient of this tensor."""
+        self.grad = None
+
+    def backward(self, grad: np.ndarray | float | None = None) -> None:
+        """Backpropagate from this tensor through the recorded graph.
+
+        ``grad`` defaults to 1.0 and must match this tensor's shape otherwise.
+        Gradients accumulate into ``.grad`` of every reachable tensor that was
+        created with ``requires_grad=True``.
+        """
+        if not self.requires_grad:
+            raise RuntimeError("backward() called on a tensor that does not require grad")
+        if grad is None:
+            if self.data.size != 1:
+                raise RuntimeError("backward() without an explicit gradient requires a scalar")
+            grad = np.ones_like(self.data)
+        grad = np.broadcast_to(np.asarray(grad, dtype=np.float64), self.data.shape).copy()
+
+        topo_order: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                topo_order.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if parent.requires_grad and id(parent) not in visited:
+                    stack.append((parent, False))
+
+        grads: dict[int, np.ndarray] = {id(self): grad}
+        for node in reversed(topo_order):
+            node_grad = grads.pop(id(node), None)
+            if node_grad is None:
+                continue
+            if node._backward is not None:
+                for parent, contribution in node._backward(node_grad):
+                    if not parent.requires_grad or contribution is None:
+                        continue
+                    contribution = _unbroadcast(
+                        np.asarray(contribution, dtype=np.float64), parent.data.shape
+                    )
+                    key = id(parent)
+                    if key in grads:
+                        grads[key] = grads[key] + contribution
+                    else:
+                        grads[key] = contribution
+            if not node._parents:
+                # Leaf tensor: expose the accumulated gradient via ``.grad``.
+                node._accumulate(node_grad)
+
+    # ------------------------------------------------------------------ #
+    # Elementwise arithmetic
+    # ------------------------------------------------------------------ #
+    def __add__(self, other: ArrayLike) -> "Tensor":
+        other = Tensor.as_tensor(other)
+        out_data = self.data + other.data
+
+        def backward(grad: np.ndarray):
+            return ((self, grad), (other, grad))
+
+        return self._make_child(out_data, (self, other), backward)
+
+    def __radd__(self, other: ArrayLike) -> "Tensor":
+        return Tensor.as_tensor(other) + self
+
+    def __sub__(self, other: ArrayLike) -> "Tensor":
+        other = Tensor.as_tensor(other)
+        out_data = self.data - other.data
+
+        def backward(grad: np.ndarray):
+            return ((self, grad), (other, -grad))
+
+        return self._make_child(out_data, (self, other), backward)
+
+    def __rsub__(self, other: ArrayLike) -> "Tensor":
+        return Tensor.as_tensor(other) - self
+
+    def __neg__(self) -> "Tensor":
+        def backward(grad: np.ndarray):
+            return ((self, -grad),)
+
+        return self._make_child(-self.data, (self,), backward)
+
+    def __mul__(self, other: ArrayLike) -> "Tensor":
+        other = Tensor.as_tensor(other)
+        out_data = self.data * other.data
+        self_data, other_data = self.data, other.data
+
+        def backward(grad: np.ndarray):
+            return ((self, grad * other_data), (other, grad * self_data))
+
+        return self._make_child(out_data, (self, other), backward)
+
+    def __rmul__(self, other: ArrayLike) -> "Tensor":
+        return Tensor.as_tensor(other) * self
+
+    def __truediv__(self, other: ArrayLike) -> "Tensor":
+        other = Tensor.as_tensor(other)
+        out_data = self.data / other.data
+        self_data, other_data = self.data, other.data
+
+        def backward(grad: np.ndarray):
+            return (
+                (self, grad / other_data),
+                (other, -grad * self_data / (other_data**2)),
+            )
+
+        return self._make_child(out_data, (self, other), backward)
+
+    def __rtruediv__(self, other: ArrayLike) -> "Tensor":
+        return Tensor.as_tensor(other) / self
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if isinstance(exponent, Tensor):
+            return self._tensor_pow(exponent)
+        out_data = self.data**exponent
+        self_data = self.data
+
+        def backward(grad: np.ndarray):
+            return ((self, grad * exponent * self_data ** (exponent - 1)),)
+
+        return self._make_child(out_data, (self,), backward)
+
+    def _tensor_pow(self, exponent: "Tensor") -> "Tensor":
+        out_data = self.data**exponent.data
+        base_data, exp_data = self.data, exponent.data
+
+        def backward(grad: np.ndarray):
+            grad_base = grad * exp_data * base_data ** (exp_data - 1)
+            with np.errstate(divide="ignore", invalid="ignore"):
+                log_base = np.where(base_data > 0, np.log(np.maximum(base_data, 1e-300)), 0.0)
+            grad_exp = grad * out_data * log_base
+            return ((self, grad_base), (exponent, grad_exp))
+
+        return self._make_child(out_data, (self, exponent), backward)
+
+    # ------------------------------------------------------------------ #
+    # Matrix multiply, reshaping, indexing
+    # ------------------------------------------------------------------ #
+    def matmul(self, other: "Tensor") -> "Tensor":
+        other = Tensor.as_tensor(other)
+        out_data = self.data @ other.data
+        self_data, other_data = self.data, other.data
+
+        def backward(grad: np.ndarray):
+            if self_data.ndim == 1 and other_data.ndim == 1:
+                # inner product: grad is scalar
+                return ((self, grad * other_data), (other, grad * self_data))
+            if self_data.ndim == 1:
+                grad_self = grad @ other_data.T
+                grad_other = np.outer(self_data, grad)
+                return ((self, grad_self), (other, grad_other))
+            if other_data.ndim == 1:
+                grad_self = np.outer(grad, other_data)
+                grad_other = self_data.T @ grad
+                return ((self, grad_self), (other, grad_other))
+            grad_self = grad @ np.swapaxes(other_data, -1, -2)
+            grad_other = np.swapaxes(self_data, -1, -2) @ grad
+            return ((self, grad_self), (other, grad_other))
+
+        return self._make_child(out_data, (self, other), backward)
+
+    def __matmul__(self, other: "Tensor") -> "Tensor":
+        return self.matmul(other)
+
+    def reshape(self, *shape: int) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        original_shape = self.data.shape
+        out_data = self.data.reshape(shape)
+
+        def backward(grad: np.ndarray):
+            return ((self, grad.reshape(original_shape)),)
+
+        return self._make_child(out_data, (self,), backward)
+
+    def transpose(self) -> "Tensor":
+        out_data = self.data.T
+
+        def backward(grad: np.ndarray):
+            return ((self, grad.T),)
+
+        return self._make_child(out_data, (self,), backward)
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def __getitem__(self, index) -> "Tensor":
+        out_data = self.data[index]
+        shape = self.data.shape
+
+        def backward(grad: np.ndarray):
+            full = np.zeros(shape, dtype=np.float64)
+            np.add.at(full, index, grad)
+            return ((self, full),)
+
+        return self._make_child(out_data, (self,), backward)
+
+    # ------------------------------------------------------------------ #
+    # Reductions and elementwise functions (method forms)
+    # ------------------------------------------------------------------ #
+    def sum(self, axis: int | tuple[int, ...] | None = None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.sum(axis=axis, keepdims=keepdims)
+        shape = self.data.shape
+
+        def backward(grad: np.ndarray):
+            grad = np.asarray(grad, dtype=np.float64)
+            if axis is None:
+                expanded = np.broadcast_to(grad, shape)
+            else:
+                axes = axis if isinstance(axis, tuple) else (axis,)
+                if not keepdims:
+                    for ax in sorted(a % len(shape) for a in axes):
+                        grad = np.expand_dims(grad, ax)
+                expanded = np.broadcast_to(grad, shape)
+            return ((self, expanded),)
+
+        return self._make_child(out_data, (self,), backward)
+
+    def mean(self, axis: int | tuple[int, ...] | None = None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.data.size
+        else:
+            axes = axis if isinstance(axis, tuple) else (axis,)
+            count = int(np.prod([self.data.shape[a] for a in axes]))
+        return self.sum(axis=axis, keepdims=keepdims) / float(count)
+
+    def prod(self) -> "Tensor":
+        """Product over all elements (differentiable, tolerant of zeros)."""
+        out_value = float(np.prod(self.data))
+        self_data = self.data
+
+        def backward(grad: np.ndarray):
+            grad_value = float(np.asarray(grad).reshape(-1)[0])
+            flat = self_data.reshape(-1)
+            n = flat.size
+            # Gradient of the product w.r.t. each element is the product of
+            # all the others; computed with prefix/suffix products so that a
+            # single zero element does not wipe out every gradient.
+            prefix = np.ones(n + 1)
+            suffix = np.ones(n + 1)
+            for i in range(n):
+                prefix[i + 1] = prefix[i] * flat[i]
+            for i in range(n - 1, -1, -1):
+                suffix[i] = suffix[i + 1] * flat[i]
+            partials = prefix[:n] * suffix[1:]
+            return ((self, (grad_value * partials).reshape(self_data.shape)),)
+
+        return self._make_child(np.asarray(out_value), (self,), backward)
+
+    def max(self) -> "Tensor":
+        out_value = self.data.max()
+        self_data = self.data
+
+        def backward(grad: np.ndarray):
+            grad_value = float(np.asarray(grad).reshape(-1)[0])
+            mask = (self_data == out_value).astype(np.float64)
+            mask /= mask.sum()
+            return ((self, grad_value * mask),)
+
+        return self._make_child(np.asarray(out_value), (self,), backward)
+
+    def min(self) -> "Tensor":
+        return -((-self).max())
+
+    def exp(self) -> "Tensor":
+        out_data = np.exp(self.data)
+
+        def backward(grad: np.ndarray):
+            return ((self, grad * out_data),)
+
+        return self._make_child(out_data, (self,), backward)
+
+    def log(self) -> "Tensor":
+        out_data = np.log(self.data)
+        self_data = self.data
+
+        def backward(grad: np.ndarray):
+            return ((self, grad / self_data),)
+
+        return self._make_child(out_data, (self,), backward)
+
+    def sqrt(self) -> "Tensor":
+        return self**0.5
+
+    def abs(self) -> "Tensor":
+        out_data = np.abs(self.data)
+        sign = np.sign(self.data)
+
+        def backward(grad: np.ndarray):
+            return ((self, grad * sign),)
+
+        return self._make_child(out_data, (self,), backward)
+
+    # ------------------------------------------------------------------ #
+    # Comparisons (non-differentiable, return plain numpy bool arrays)
+    # ------------------------------------------------------------------ #
+    def __lt__(self, other: ArrayLike):
+        return self.data < Tensor.as_tensor(other).data
+
+    def __le__(self, other: ArrayLike):
+        return self.data <= Tensor.as_tensor(other).data
+
+    def __gt__(self, other: ArrayLike):
+        return self.data > Tensor.as_tensor(other).data
+
+    def __ge__(self, other: ArrayLike):
+        return self.data >= Tensor.as_tensor(other).data
+
+
+def parameters_size(tensors: Iterable[Tensor]) -> int:
+    """Total number of scalar parameters across ``tensors``."""
+    return sum(t.size for t in tensors)

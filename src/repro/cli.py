@@ -1,0 +1,104 @@
+"""Command-line entry point for running the reproduction experiments.
+
+Usage::
+
+    python -m repro.cli list
+    python -m repro.cli fig4 --scale small
+    python -m repro.cli fig7 --scale paper
+    python -m repro.cli all  --scale small
+
+``--scale small`` runs each harness with the reduced budgets used by the
+benchmark suite (minutes); ``--scale paper`` uses the Section 6.1 budgets
+(hours).  Outputs are written to ``output_dir/`` (override with the
+``REPRO_OUTPUT_DIR`` environment variable).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+from repro.experiments import (
+    fig4_correlation,
+    fig6_loop_ordering,
+    fig7_cosearch,
+    fig8_baselines,
+    fig9_separation,
+    fig10_11_surrogate,
+    fig12_rtl,
+)
+
+# Reduced-budget keyword arguments per experiment (same spirit as benchmarks/).
+_SMALL_SCALE: dict[str, dict] = {
+    "fig4": {"num_configs": 10, "mappings_per_config": 20},
+    "fig6": {"workloads": ("bert",), "num_start_points": 2, "gd_steps": 120,
+             "rounding_period": 60},
+    "fig7": {"workloads": ("resnet50", "bert"), "num_start_points": 2, "gd_steps": 150,
+             "rounding_period": 75, "random_hardware_designs": 4,
+             "random_mappings_per_layer": 60, "bo_training_hardware": 6,
+             "bo_mappings_per_layer": 20, "bo_candidates": 30},
+    "fig8": {"workloads": ("resnet50",), "mappings_per_layer": 100,
+             "num_start_points": 2, "gd_steps": 150, "rounding_period": 75},
+    "fig9": {"workloads": ("resnet50", "bert"), "runs_per_workload": 1,
+             "gd_steps": 200, "rounding_period": 100, "random_mappings_per_layer": 50},
+    "fig10": {"samples_per_layer": 8, "training_epochs": 300,
+              "dosa_workloads": ("bert",), "dosa_gd_steps": 100,
+              "dosa_rounding_period": 50},
+    "fig12": {"workloads": ("resnet50", "bert"), "samples_per_layer": 4,
+              "training_epochs": 150, "num_start_points": 1, "gd_steps": 150,
+              "rounding_period": 75},
+}
+
+_EXPERIMENTS: dict[str, Callable[..., object]] = {
+    "fig4": fig4_correlation.main,
+    "fig6": fig6_loop_ordering.main,
+    "fig7": fig7_cosearch.main,
+    "fig8": fig8_baselines.main,
+    "fig9": fig9_separation.main,
+    "fig10": fig10_11_surrogate.main,
+    "fig12": fig12_rtl.main,
+}
+
+_DESCRIPTIONS: dict[str, str] = {
+    "fig4": "differentiable model correlation against the reference model",
+    "fig6": "loop-ordering strategy comparison (baseline / iterate / softmax)",
+    "fig7": "DOSA vs random search vs Bayesian optimization",
+    "fig8": "DOSA-optimized Gemmini vs expert baseline accelerators",
+    "fig9": "attribution of hardware vs mapping improvements",
+    "fig10": "latency-model accuracy (Figures 10 and 11)",
+    "fig12": "Gemmini-RTL optimization with learned latency models (+ Table 7)",
+}
+
+
+def _run_one(name: str, scale: str) -> None:
+    kwargs = _SMALL_SCALE[name] if scale == "small" else {}
+    print(f"[repro] running {name} ({_DESCRIPTIONS[name]}) at {scale} scale...")
+    output = _EXPERIMENTS[name](**kwargs)
+    print(output.to_text())
+    print()
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro.cli", description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("experiment", choices=[*sorted(_EXPERIMENTS), "all", "list"],
+                        help="which experiment to run (or 'list' / 'all')")
+    parser.add_argument("--scale", choices=["small", "paper"], default="small",
+                        help="reduced budgets (minutes) or paper budgets (hours)")
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        for name in sorted(_EXPERIMENTS):
+            print(f"{name:<6} {_DESCRIPTIONS[name]}")
+        return 0
+    if args.experiment == "all":
+        for name in sorted(_EXPERIMENTS):
+            _run_one(name, args.scale)
+        return 0
+    _run_one(args.experiment, args.scale)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,31 @@
+"""DOSA core: the differentiable performance model and the one-loop optimizer."""
+
+from repro.core.dmodel import (
+    DifferentiableHardware,
+    LayerFactors,
+    DifferentiableModel,
+    LayerPerformance,
+    network_edp_loss,
+    validity_penalty,
+)
+from repro.core.optimizer import (
+    DosaSearcher,
+    DosaSettings,
+    LoopOrderingStrategy,
+    SearchTrace,
+    SearchResult,
+)
+
+__all__ = [
+    "DifferentiableHardware",
+    "LayerFactors",
+    "DifferentiableModel",
+    "LayerPerformance",
+    "network_edp_loss",
+    "validity_penalty",
+    "DosaSearcher",
+    "DosaSettings",
+    "LoopOrderingStrategy",
+    "SearchTrace",
+    "SearchResult",
+]

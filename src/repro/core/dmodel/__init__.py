@@ -1,0 +1,26 @@
+"""The DOSA differentiable performance model (paper Section 4).
+
+Implements Equations 1-18 over :class:`repro.autodiff.Tensor` values so that
+the whole-model energy-delay product is differentiable with respect to every
+layer's spatial and temporal tiling factors — which is what enables the
+one-loop, mapping-first gradient-descent search.
+"""
+
+from repro.core.dmodel.hardware import DifferentiableHardware
+from repro.core.dmodel.factors import LayerFactors
+from repro.core.dmodel.model import DifferentiableModel, LayerPerformance
+from repro.core.dmodel.loss import (
+    network_edp_loss,
+    softmax_ordering_loss,
+    validity_penalty,
+)
+
+__all__ = [
+    "DifferentiableHardware",
+    "LayerFactors",
+    "DifferentiableModel",
+    "LayerPerformance",
+    "network_edp_loss",
+    "softmax_ordering_loss",
+    "validity_penalty",
+]

@@ -1,0 +1,160 @@
+"""Per-layer differentiable tiling factors (the GD optimization variables).
+
+DOSA optimizes, for every unique layer, the temporal tiling factors at the
+register, accumulator and scratchpad levels plus the two spatial factors of
+the weight-stationary dataflow — roughly twenty variables per layer
+(Section 5.1).  DRAM-level temporal factors are not free variables: they are
+inferred as the remaining problem size so that per-dimension factor products
+always match the layer (Section 5.3.3).
+
+Factors are parameterized in log space (the optimizer stores ``log f``), which
+keeps them strictly positive under unconstrained gradient updates; the
+Equation-18 hinge penalty still discourages values below 1 so the inferred
+DRAM factors stay valid.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.arch.components import (
+    LEVEL_ACCUMULATOR,
+    LEVEL_DRAM,
+    LEVEL_SCRATCHPAD,
+    MEMORY_LEVEL_INDICES,
+)
+from repro.autodiff import Tensor, ops
+from repro.mapping.mapping import (
+    DEFAULT_ORDERINGS,
+    DIM_INDEX,
+    LoopOrdering,
+    Mapping,
+    NUM_DIMS,
+    SPATIAL_DIMS,
+)
+from repro.mapping.rounding import round_mapping
+from repro.workloads.layer import DIMENSIONS, LayerDims
+
+# Levels whose temporal factors are free optimization variables.
+OPTIMIZED_LEVELS: tuple[int, ...] = (0, 1, 2)
+_MIN_LOG_FACTOR = np.log(1e-3)
+_MAX_LOG_FACTOR = np.log(1e9)
+
+
+class LayerFactors:
+    """Differentiable spatial/temporal tiling factors for one layer."""
+
+    def __init__(
+        self,
+        layer: LayerDims,
+        log_temporal: np.ndarray | None = None,
+        log_spatial: np.ndarray | None = None,
+        orderings: Sequence[LoopOrdering] = DEFAULT_ORDERINGS,
+    ) -> None:
+        self.layer = layer
+        if log_temporal is None:
+            log_temporal = np.zeros((len(OPTIMIZED_LEVELS), NUM_DIMS))
+        if log_spatial is None:
+            log_spatial = np.zeros(len(SPATIAL_DIMS))
+        self.log_temporal = Tensor(log_temporal, requires_grad=True, name=f"{layer.name}:log_temporal")
+        self.log_spatial = Tensor(log_spatial, requires_grad=True, name=f"{layer.name}:log_spatial")
+        self.orderings: tuple[LoopOrdering, ...] = tuple(orderings)
+
+    # ------------------------------------------------------------------ #
+    # Construction from / conversion to concrete mappings
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def from_mapping(mapping: Mapping) -> "LayerFactors":
+        """Initialize log-factors from a concrete (valid) mapping."""
+        log_temporal = np.log(np.maximum(mapping.temporal[list(OPTIMIZED_LEVELS), :], 1e-12))
+        log_spatial = np.log(np.array([
+            max(mapping.spatial_factor(level, dim), 1e-12) for level, dim in SPATIAL_DIMS
+        ]))
+        return LayerFactors(
+            layer=mapping.layer,
+            log_temporal=log_temporal,
+            log_spatial=log_spatial,
+            orderings=mapping.orderings,
+        )
+
+    def load_mapping(self, mapping: Mapping) -> None:
+        """Overwrite the parameter values (in place) from a concrete mapping.
+
+        Used after periodic rounding: the optimizer keeps the same parameter
+        tensors (and momentum state) but continues from the snapped point.
+        """
+        self.log_temporal.data = np.log(
+            np.maximum(mapping.temporal[list(OPTIMIZED_LEVELS), :], 1e-12)
+        )
+        self.log_spatial.data = np.log(np.array([
+            max(mapping.spatial_factor(level, dim), 1e-12) for level, dim in SPATIAL_DIMS
+        ]))
+        self.orderings = tuple(mapping.orderings)
+
+    def parameters(self) -> list[Tensor]:
+        return [self.log_temporal, self.log_spatial]
+
+    # ------------------------------------------------------------------ #
+    # Differentiable factor access
+    # ------------------------------------------------------------------ #
+    def factor_grid(self) -> dict[tuple[str, int, str], Tensor | float]:
+        """All factors as tensors, keyed by ``(kind, level, dim)``.
+
+        ``kind`` is ``"T"`` or ``"S"``.  Factors that are structurally 1
+        (unsupported spatial positions) are plain floats.  DRAM temporal
+        factors are derived so that every dimension's product equals the
+        problem size, keeping gradients flowing into the inner factors.
+        """
+        grid: dict[tuple[str, int, str], Tensor | float] = {}
+        temporal = ops.exp(self.log_temporal)
+        spatial = ops.exp(self.log_spatial)
+
+        for level_pos, level in enumerate(OPTIMIZED_LEVELS):
+            for dim in DIMENSIONS:
+                grid[("T", level, dim)] = temporal[level_pos, DIM_INDEX[dim]]
+        for level in MEMORY_LEVEL_INDICES:
+            for dim in DIMENSIONS:
+                grid.setdefault(("S", level, dim), 1.0)
+        for position, (level, dim) in enumerate(SPATIAL_DIMS):
+            grid[("S", level, dim)] = spatial[position]
+
+        # DRAM temporal factors absorb the remaining problem size.
+        for dim in DIMENSIONS:
+            inner = ops.total_prod(
+                [grid[("T", level, dim)] for level in OPTIMIZED_LEVELS]
+                + [grid[("S", level, dim)] for level, d in SPATIAL_DIMS if d == dim]
+            )
+            grid[("T", LEVEL_DRAM, dim)] = float(self.layer.dim(dim)) / inner
+        return grid
+
+    # ------------------------------------------------------------------ #
+    # Numeric snapshots
+    # ------------------------------------------------------------------ #
+    def snapshot_mapping(self) -> Mapping:
+        """Current (possibly fractional) factors as a numeric :class:`Mapping`."""
+        mapping = Mapping(layer=self.layer, orderings=self.orderings)
+        temporal = np.exp(np.clip(self.log_temporal.data, _MIN_LOG_FACTOR, _MAX_LOG_FACTOR))
+        spatial = np.exp(np.clip(self.log_spatial.data, _MIN_LOG_FACTOR, _MAX_LOG_FACTOR))
+        for level_pos, level in enumerate(OPTIMIZED_LEVELS):
+            mapping.temporal[level, :] = temporal[level_pos, :]
+        for position, (level, dim) in enumerate(SPATIAL_DIMS):
+            mapping.spatial[level, DIM_INDEX[dim]] = spatial[position]
+        return mapping.with_dram_inferred()
+
+    def rounded_mapping(self, max_spatial: float | None = None) -> Mapping:
+        """Nearest valid mapping to the current factors (Section 5.3.2)."""
+        return round_mapping(self.snapshot_mapping(), max_spatial=max_spatial)
+
+    def with_orderings(self, orderings: Sequence[LoopOrdering]) -> "LayerFactors":
+        """Shallow view of the same parameters with different loop orderings."""
+        view = LayerFactors.__new__(LayerFactors)
+        view.layer = self.layer
+        view.log_temporal = self.log_temporal
+        view.log_spatial = self.log_spatial
+        view.orderings = tuple(orderings)
+        return view
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"LayerFactors({self.layer.name or self.layer.dims()}, orderings={[o.value for o in self.orderings]})"

@@ -1,0 +1,116 @@
+"""Loss construction for the DOSA gradient-descent search.
+
+* :func:`network_edp_loss` — Equation 14: (sum of layer energies) x (sum of
+  layer latencies), with repeated layers scaled by their repetition counts.
+* :func:`validity_penalty` — Equation 18: a hinge penalty pushing every tiling
+  factor (including the inferred DRAM factors) to stay at or above 1.
+* :func:`softmax_ordering_loss` — Equations 15-17: the gradient-based loop
+  ordering strategy, weighting each candidate ordering's energy and latency by
+  the softmax of its inverse EDP.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.autodiff import Tensor, ops
+from repro.core.dmodel.factors import LayerFactors
+from repro.core.dmodel.hardware import DifferentiableHardware
+from repro.core.dmodel.model import DifferentiableModel, LayerPerformance
+from repro.mapping.mapping import LoopOrdering
+
+
+def network_edp_loss(
+    performances: Sequence[LayerPerformance],
+    repeats: Sequence[int],
+) -> Tensor:
+    """Whole-model EDP (Equation 14): sum energies x sum latencies."""
+    if len(performances) != len(repeats):
+        raise ValueError("one repetition count is required per layer performance")
+    total_energy = ops.total_sum(
+        [perf.energy * float(rep) for perf, rep in zip(performances, repeats)]
+    )
+    total_latency = ops.total_sum(
+        [perf.latency * float(rep) for perf, rep in zip(performances, repeats)]
+    )
+    return total_energy * total_latency
+
+
+def validity_penalty(all_factors: Sequence[LayerFactors]) -> Tensor:
+    """Equation 18: sum of ``max(1 - f, 0)`` over every tiling factor."""
+    terms = []
+    for factors in all_factors:
+        grid = factors.factor_grid()
+        for value in grid.values():
+            if isinstance(value, Tensor):
+                terms.append(ops.relu(1.0 - value))
+    return ops.total_sum(terms)
+
+
+_CANDIDATE_ORDERINGS: tuple[LoopOrdering, ...] = (
+    LoopOrdering.WEIGHT_STATIONARY,
+    LoopOrdering.INPUT_STATIONARY,
+    LoopOrdering.OUTPUT_STATIONARY,
+)
+
+
+def ordering_candidates(factors: LayerFactors) -> list[LayerFactors]:
+    """Views of ``factors`` under the WS / IS / OS loop orderings (all levels)."""
+    return [
+        factors.with_orderings([ordering] * 4) for ordering in _CANDIDATE_ORDERINGS
+    ]
+
+
+def softmax_ordering_loss(
+    all_factors: Sequence[LayerFactors],
+    repeats: Sequence[int],
+    hardware: DifferentiableHardware | None = None,
+) -> Tensor:
+    """Equations 15-17: loss with softmax-weighted loop-ordering mixtures.
+
+    For every layer, the energies and latencies of the WS/IS/OS orderings are
+    combined with weights ``softmax(1 / (E ⊙ L))``; the weighted per-layer
+    energies and latencies are then composed into the whole-model EDP.
+    """
+    if hardware is None:
+        hardware = DifferentiableModel.derive_hardware(list(all_factors))
+    weighted_energies = []
+    weighted_latencies = []
+    for factors, rep in zip(all_factors, repeats):
+        energies = []
+        latencies = []
+        for candidate in ordering_candidates(factors):
+            perf = DifferentiableModel.evaluate_layer(candidate, hardware)
+            energies.append(perf.energy)
+            latencies.append(perf.latency)
+        energy_vector = ops.stack(energies)
+        latency_vector = ops.stack(latencies)
+        weights = ops.softmax(1.0 / (energy_vector * latency_vector))
+        weighted_energies.append((weights * energy_vector).sum() * float(rep))
+        weighted_latencies.append((weights * latency_vector).sum() * float(rep))
+    return ops.total_sum(weighted_energies) * ops.total_sum(weighted_latencies)
+
+
+def best_ordering_per_layer(
+    all_factors: Sequence[LayerFactors],
+    hardware: DifferentiableHardware | None = None,
+) -> list[LoopOrdering]:
+    """Iterative loop-ordering selection (Section 5.2.1).
+
+    For each layer, evaluate the WS/IS/OS orderings under the differentiable
+    model and return the ordering with the lowest layer EDP.
+    """
+    if hardware is None:
+        hardware = DifferentiableModel.derive_hardware(list(all_factors))
+    selections: list[LoopOrdering] = []
+    for factors in all_factors:
+        best = None
+        best_edp = float("inf")
+        for ordering, candidate in zip(_CANDIDATE_ORDERINGS, ordering_candidates(factors)):
+            perf = DifferentiableModel.evaluate_layer(candidate, hardware)
+            edp = float(perf.edp.data)
+            if edp < best_edp:
+                best_edp = edp
+                best = ordering
+        selections.append(best)
+    return selections

@@ -1,0 +1,244 @@
+"""Differentiable capacity, traffic, latency and energy model (Equations 1-14).
+
+This mirrors the reference analysis of :mod:`repro.timeloop.loopnest` but over
+autodiff tensors and with smooth semantics: tile extents are real-valued
+products (no ceiling), DRAM energy is charged per element (no block rounding),
+and maxima use the exact-max subgradient of :func:`repro.autodiff.ops.maximum`.
+The structural decisions — which loops provide temporal reuse given the loop
+ordering — are made from the current numeric factor values and treated as
+locally constant, so each forward pass is differentiable on its active piece.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.arch.components import (
+    BYPASS_MATRIX,
+    LEVEL_ACCUMULATOR,
+    LEVEL_DRAM,
+    LEVEL_REGISTERS,
+    LEVEL_SCRATCHPAD,
+    MEMORY_LEVEL_INDICES,
+)
+from repro.autodiff import Tensor, ops
+from repro.core.dmodel.factors import LayerFactors
+from repro.core.dmodel.hardware import DifferentiableHardware
+from repro.mapping.mapping import LoopOrdering, ordering_for_tensor
+from repro.workloads.layer import DIMENSIONS, TENSOR_DIMS
+
+Value = "Tensor | float"
+_FACTOR_EPS = 1e-9
+
+FactorGrid = dict
+
+
+@dataclass
+class LayerPerformance:
+    """Differentiable latency/energy of one layer's mapping."""
+
+    latency: Tensor
+    energy: Tensor
+    compute_latency: Tensor
+    accesses: dict[int, Tensor]
+    macs: Tensor
+
+    @property
+    def edp(self) -> Tensor:
+        return self.latency * self.energy
+
+
+class DifferentiableModel:
+    """Evaluates :class:`LayerFactors` into differentiable performance."""
+
+    # ------------------------------------------------------------------ #
+    # Tile sizes (Equations 2-5)
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def inner_extent(factors: LayerFactors, grid: FactorGrid, level: int, dim: str):
+        """Extent of ``dim`` inside the level-``level`` tile (all spatial, inner temporal)."""
+        terms = [grid[("S", lvl, dim)] for lvl in MEMORY_LEVEL_INDICES]
+        terms += [grid[("T", lvl, dim)] for lvl in range(level)]
+        return ops.total_prod(terms)
+
+    @classmethod
+    def tile_words(cls, factors: LayerFactors, grid: FactorGrid, level: int, tensor: str):
+        """Words of ``tensor`` resident at ``level`` (Equations 2-4)."""
+        layer = factors.layer
+        if tensor == "W":
+            return ops.total_prod(
+                [cls.inner_extent(factors, grid, level, d) for d in ("R", "S", "C", "K")]
+            )
+        if tensor == "O":
+            return ops.total_prod(
+                [cls.inner_extent(factors, grid, level, d) for d in ("P", "Q", "K", "N")]
+            )
+        if tensor == "I":
+            base = (cls.inner_extent(factors, grid, level, "C")
+                    * cls.inner_extent(factors, grid, level, "N"))
+            height = (layer.stride_p * (cls.inner_extent(factors, grid, level, "P") - 1.0)
+                      + cls.inner_extent(factors, grid, level, "R"))
+            width = (layer.stride_q * (cls.inner_extent(factors, grid, level, "Q") - 1.0)
+                     + cls.inner_extent(factors, grid, level, "S"))
+            return base * height * width
+        raise KeyError(f"unknown tensor {tensor!r}")
+
+    # ------------------------------------------------------------------ #
+    # Traffic (Equations 6-11)
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def reload_factor(factors: LayerFactors, grid: FactorGrid, level: int, tensor: str):
+        """Times the level tile of ``tensor`` is refetched (loop-order aware, Eq. 6)."""
+        relevant = TENSOR_DIMS[tensor]
+        terms = []
+        seen_relevant = False
+        for walk_level in range(level, LEVEL_DRAM + 1):
+            ordering = ordering_for_tensor(factors.orderings[walk_level])
+            for dim in ordering:
+                value = grid[("T", walk_level, dim)]
+                numeric = float(value.data) if isinstance(value, Tensor) else float(value)
+                if numeric <= 1.0 + _FACTOR_EPS:
+                    continue
+                if not seen_relevant and dim not in relevant:
+                    continue
+                terms.append(value)
+                if dim in relevant:
+                    seen_relevant = True
+        return ops.total_prod(terms)
+
+    @staticmethod
+    def distinct_tiles(factors: LayerFactors, grid: FactorGrid, level: int, tensor: str):
+        """Number of distinct tiles of ``tensor`` above ``level``."""
+        relevant = TENSOR_DIMS[tensor]
+        terms = []
+        for walk_level in range(level, LEVEL_DRAM + 1):
+            for dim in DIMENSIONS:
+                if dim in relevant:
+                    terms.append(grid[("T", walk_level, dim)])
+        return ops.total_prod(terms)
+
+    @staticmethod
+    def spatial_irrelevant_product(factors: LayerFactors, grid: FactorGrid, level: int, tensor: str):
+        """Equations 8/10: spatial broadcast / reduction factor at ``level``."""
+        relevant = TENSOR_DIMS[tensor]
+        terms = [grid[("S", level, dim)] for dim in DIMENSIONS if dim not in relevant]
+        return ops.total_prod(terms)
+
+    @staticmethod
+    def total_macs(factors: LayerFactors, grid: FactorGrid):
+        """Equation 7: the product of every tiling factor."""
+        terms = []
+        for dim in DIMENSIONS:
+            for level in MEMORY_LEVEL_INDICES:
+                terms.append(grid[("T", level, dim)])
+                terms.append(grid[("S", level, dim)])
+        return ops.total_prod(terms)
+
+    @classmethod
+    def traffic(cls, factors: LayerFactors, grid: FactorGrid) -> dict[int, Tensor]:
+        """Total accesses per memory level (reads + writes + updates)."""
+        macs = cls.total_macs(factors, grid)
+        spatial_c = grid[("S", LEVEL_ACCUMULATOR, "C")]
+        spatial_k = grid[("S", LEVEL_SCRATCHPAD, "K")]
+
+        writes_w_registers = (cls.tile_words(factors, grid, LEVEL_REGISTERS, "W")
+                              * cls.reload_factor(factors, grid, LEVEL_REGISTERS, "W"))
+        writes_w_scratchpad = (cls.tile_words(factors, grid, LEVEL_SCRATCHPAD, "W")
+                               * cls.reload_factor(factors, grid, LEVEL_SCRATCHPAD, "W"))
+        writes_i_scratchpad = (cls.tile_words(factors, grid, LEVEL_SCRATCHPAD, "I")
+                               * cls.reload_factor(factors, grid, LEVEL_SCRATCHPAD, "I"))
+
+        output_tile = cls.tile_words(factors, grid, LEVEL_ACCUMULATOR, "O")
+        reloads_o = cls.reload_factor(factors, grid, LEVEL_ACCUMULATOR, "O")
+        distinct_o = cls.distinct_tiles(factors, grid, LEVEL_ACCUMULATOR, "O")
+        drains = output_tile * reloads_o
+        refills = output_tile * ops.relu(reloads_o - distinct_o)
+
+        accesses: dict[int, Tensor] = {}
+        accesses[LEVEL_REGISTERS] = (
+            writes_w_registers
+            + macs / cls.spatial_irrelevant_product(factors, grid, LEVEL_REGISTERS, "W")
+        )
+        accesses[LEVEL_ACCUMULATOR] = macs / spatial_c + drains + refills
+        accesses[LEVEL_SCRATCHPAD] = (
+            writes_w_scratchpad + writes_i_scratchpad
+            + writes_w_registers / cls.spatial_irrelevant_product(factors, grid, LEVEL_SCRATCHPAD, "W")
+            + macs / spatial_k
+        )
+        accesses[LEVEL_DRAM] = writes_w_scratchpad + writes_i_scratchpad + drains + refills
+        return accesses
+
+    # ------------------------------------------------------------------ #
+    # Latency / energy / EDP (Equations 12-14)
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def evaluate_layer(
+        cls,
+        factors: LayerFactors,
+        hardware: DifferentiableHardware,
+        grid: FactorGrid | None = None,
+    ) -> LayerPerformance:
+        """Differentiable latency and energy of one layer on ``hardware``."""
+        grid = grid if grid is not None else factors.factor_grid()
+        macs = cls.total_macs(factors, grid)
+        accesses = cls.traffic(factors, grid)
+
+        parallelism = ops.total_prod(
+            [grid[("S", level, dim)] for level in MEMORY_LEVEL_INDICES for dim in DIMENSIONS]
+        )
+        compute_latency = macs / parallelism
+        latency = compute_latency
+        for level in MEMORY_LEVEL_INDICES:
+            latency = ops.maximum(latency, accesses[level] / hardware.bandwidth(level))
+
+        energy = macs * hardware.mac_energy
+        for level in MEMORY_LEVEL_INDICES:
+            energy = energy + accesses[level] * hardware.energy_per_access(level)
+
+        return LayerPerformance(
+            latency=latency,
+            energy=energy,
+            compute_latency=compute_latency,
+            accesses=accesses,
+            macs=macs,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Hardware derivation (Equation 1, Figure 3) over a set of layers
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def derive_hardware(cls, all_factors: Sequence[LayerFactors]) -> DifferentiableHardware:
+        """Minimal hardware supporting every layer's current factors (differentiably)."""
+        if not all_factors:
+            raise ValueError("derive_hardware requires at least one layer")
+        spatial_candidates = []
+        accumulator_words = None
+        scratchpad_words = None
+        for factors in all_factors:
+            grid = factors.factor_grid()
+            spatial_candidates.append(grid[("S", LEVEL_ACCUMULATOR, "C")])
+            spatial_candidates.append(grid[("S", LEVEL_SCRATCHPAD, "K")])
+            layer_accumulator = cls.tile_words(factors, grid, LEVEL_ACCUMULATOR, "O")
+            layer_scratchpad = (cls.tile_words(factors, grid, LEVEL_SCRATCHPAD, "W")
+                                + cls.tile_words(factors, grid, LEVEL_SCRATCHPAD, "I"))
+            accumulator_words = (layer_accumulator if accumulator_words is None
+                                 else ops.maximum(accumulator_words, layer_accumulator))
+            scratchpad_words = (layer_scratchpad if scratchpad_words is None
+                                else ops.maximum(scratchpad_words, layer_scratchpad))
+        return DifferentiableHardware.from_requirements(
+            spatial_factors=spatial_candidates,
+            accumulator_words=accumulator_words,
+            scratchpad_words=scratchpad_words,
+        )
+
+    @classmethod
+    def evaluate_network(
+        cls,
+        all_factors: Sequence[LayerFactors],
+        hardware: DifferentiableHardware | None = None,
+    ) -> list[LayerPerformance]:
+        """Evaluate every layer, deriving minimal hardware if none is given."""
+        if hardware is None:
+            hardware = cls.derive_hardware(all_factors)
+        return [cls.evaluate_layer(factors, hardware) for factors in all_factors]

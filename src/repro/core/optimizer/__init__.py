@@ -1,0 +1,22 @@
+"""The DOSA one-loop gradient-descent co-search (paper Section 5)."""
+
+from repro.core.optimizer.dosa import (
+    DosaSearcher,
+    DosaSettings,
+    LoopOrderingStrategy,
+    SearchResult,
+    SearchTrace,
+    TracePoint,
+)
+from repro.core.optimizer.startpoints import StartPoint, generate_start_points
+
+__all__ = [
+    "DosaSearcher",
+    "DosaSettings",
+    "LoopOrderingStrategy",
+    "SearchResult",
+    "SearchTrace",
+    "TracePoint",
+    "StartPoint",
+    "generate_start_points",
+]

@@ -1,0 +1,287 @@
+"""The DOSA searcher: one-loop, mapping-first gradient-descent co-search.
+
+For each start point (random hardware + CoSA mappings), DOSA descends the
+differentiable whole-model EDP with Adam, jointly over all layers' tiling
+factors.  Every ``rounding_period`` steps the fractional factors are snapped
+to the nearest valid mapping, the loop orderings are (optionally) re-selected,
+the minimal hardware configuration is derived, and the candidate design is
+scored with the reference (Timeloop-style) model.  The best reference-scored
+design across all start points is the search result.
+
+Sample accounting follows the paper: every gradient step counts as one model
+evaluation ("evaluations done using Timeloop are considered equivalent to
+evaluations done using DOSA's differentiable model"), and each reference
+evaluation at a rounding point also counts one sample per layer mapping.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable, Sequence
+
+from repro.arch.config import DEFAULT_BOUNDS, HardwareBounds, HardwareConfig
+from repro.arch.gemmini import GemminiSpec
+from repro.autodiff import Adam
+from repro.core.dmodel.factors import LayerFactors
+from repro.core.dmodel.hardware import DifferentiableHardware
+from repro.core.dmodel.loss import (
+    best_ordering_per_layer,
+    network_edp_loss,
+    softmax_ordering_loss,
+    validity_penalty,
+)
+from repro.core.dmodel.model import DifferentiableModel
+from repro.core.optimizer.startpoints import StartPoint, generate_start_points
+from repro.mapping.constraints import minimal_hardware_for_mappings
+from repro.mapping.mapping import Mapping
+from repro.timeloop.model import NetworkPerformance, evaluate_network_mappings
+from repro.utils.rng import SeedLike, make_rng
+from repro.workloads.networks import Network
+
+
+class LoopOrderingStrategy(str, Enum):
+    """Loop-ordering search strategies compared in Figure 6."""
+
+    NONE = "baseline"      # keep the start point's orderings
+    ITERATE = "iterate"    # re-select WS/IS/OS at every rounding point
+    SOFTMAX = "softmax"    # gradient-based softmax weighting (Eq. 15-17)
+
+
+@dataclass
+class DosaSettings:
+    """Hyperparameters of the DOSA search (paper Section 6.1)."""
+
+    num_start_points: int = 7
+    gd_steps: int = 890
+    rounding_period: int = 300
+    learning_rate: float = 0.05
+    penalty_weight: float = 1e9
+    ordering_strategy: LoopOrderingStrategy = LoopOrderingStrategy.ITERATE
+    rejection_threshold: float = 10.0
+    fixed_pe_dim: int | None = None
+    bounds: HardwareBounds = field(default_factory=lambda: DEFAULT_BOUNDS)
+    seed: SeedLike = None
+
+    def __post_init__(self) -> None:
+        if self.num_start_points < 1:
+            raise ValueError("num_start_points must be at least 1")
+        if self.gd_steps < 1:
+            raise ValueError("gd_steps must be at least 1")
+        if self.rounding_period < 1:
+            raise ValueError("rounding_period must be at least 1")
+        self.ordering_strategy = LoopOrderingStrategy(self.ordering_strategy)
+
+
+@dataclass
+class TracePoint:
+    """Best reference-evaluated EDP after a given number of samples."""
+
+    samples: int
+    best_edp: float
+
+
+@dataclass
+class SearchTrace:
+    """Best-so-far curve of one search run."""
+
+    points: list[TracePoint] = field(default_factory=list)
+
+    def record(self, samples: int, best_edp: float) -> None:
+        self.points.append(TracePoint(samples=samples, best_edp=best_edp))
+
+    def best_edp_after(self, samples: int) -> float:
+        """Best EDP achieved using at most ``samples`` evaluations."""
+        best = float("inf")
+        for point in self.points:
+            if point.samples <= samples:
+                best = min(best, point.best_edp)
+        return best
+
+    @property
+    def final_best(self) -> float:
+        return min((p.best_edp for p in self.points), default=float("inf"))
+
+    @property
+    def total_samples(self) -> int:
+        return max((p.samples for p in self.points), default=0)
+
+
+@dataclass
+class CandidateDesign:
+    """A rounded, reference-evaluated co-design point."""
+
+    hardware: HardwareConfig
+    mappings: list[Mapping]
+    performance: NetworkPerformance
+
+    @property
+    def edp(self) -> float:
+        return self.performance.edp
+
+
+@dataclass
+class SearchResult:
+    """Outcome of a DOSA search over one target network."""
+
+    best: CandidateDesign
+    trace: SearchTrace
+    start_points: list[StartPoint]
+    candidates: list[CandidateDesign]
+
+    @property
+    def best_edp(self) -> float:
+        return self.best.edp
+
+
+# A latency adjuster rescales per-layer reference latencies when selecting the
+# best candidate (used by the Gemmini-RTL experiments, where latency may come
+# from a DNN-augmented model or the RTL simulator instead of the analytical
+# model).  It receives the mappings and hardware and returns per-layer latencies.
+LatencyAdjuster = Callable[[list[Mapping], HardwareConfig], list[float]]
+
+
+class DosaSearcher:
+    """Runs the DOSA one-loop search for a target network."""
+
+    def __init__(
+        self,
+        network: Network,
+        settings: DosaSettings | None = None,
+        latency_adjuster: LatencyAdjuster | None = None,
+    ) -> None:
+        self.network = network
+        self.settings = settings or DosaSettings()
+        self.latency_adjuster = latency_adjuster
+        self._repeats = [layer.repeats for layer in network.layers]
+
+    # ------------------------------------------------------------------ #
+    def search(self) -> SearchResult:
+        """Run the full search and return the best reference-scored design."""
+        settings = self.settings
+        rng = make_rng(settings.seed)
+        start_points = generate_start_points(
+            self.network,
+            count=settings.num_start_points,
+            seed=rng,
+            rejection_threshold=settings.rejection_threshold,
+            fixed_pe_dim=settings.fixed_pe_dim,
+        )
+
+        trace = SearchTrace()
+        candidates: list[CandidateDesign] = []
+        best: CandidateDesign | None = None
+        samples = 0
+
+        for start_point in start_points:
+            best_for_start, samples = self._descend_from(
+                start_point, trace, candidates, samples
+            )
+            if best_for_start is not None and (best is None or best_for_start.edp < best.edp):
+                best = best_for_start
+
+        if best is None:  # pragma: no cover - defensive; rounding always yields a candidate
+            raise RuntimeError("search produced no valid candidate design")
+        return SearchResult(best=best, trace=trace, start_points=start_points,
+                            candidates=candidates)
+
+    # ------------------------------------------------------------------ #
+    def _descend_from(
+        self,
+        start_point: StartPoint,
+        trace: SearchTrace,
+        candidates: list[CandidateDesign],
+        samples: int,
+    ) -> tuple[CandidateDesign | None, int]:
+        settings = self.settings
+        factors = [LayerFactors.from_mapping(m) for m in start_point.mappings]
+        parameters = [p for f in factors for p in f.parameters()]
+        optimizer = Adam(parameters, lr=settings.learning_rate)
+        best: CandidateDesign | None = None
+
+        for step in range(settings.gd_steps):
+            optimizer.zero_grad()
+            loss = self._loss(factors)
+            loss.backward()
+            optimizer.step()
+            samples += 1
+
+            at_rounding_point = ((step + 1) % settings.rounding_period == 0
+                                 or step == settings.gd_steps - 1)
+            if not at_rounding_point:
+                continue
+
+            candidate, samples = self._round_and_evaluate(factors, samples)
+            candidates.append(candidate)
+            if best is None or candidate.edp < best.edp:
+                best = candidate
+            trace.record(samples, min(best.edp, trace.final_best))
+        return best, samples
+
+    # ------------------------------------------------------------------ #
+    def _loss(self, factors: list[LayerFactors]):
+        settings = self.settings
+        hardware = DifferentiableModel.derive_hardware(factors)
+        if settings.ordering_strategy is LoopOrderingStrategy.SOFTMAX:
+            objective = softmax_ordering_loss(factors, self._repeats, hardware)
+        else:
+            performances = DifferentiableModel.evaluate_network(factors, hardware)
+            objective = network_edp_loss(performances, self._repeats)
+        return objective + settings.penalty_weight * validity_penalty(factors)
+
+    # ------------------------------------------------------------------ #
+    def _round_and_evaluate(
+        self, factors: list[LayerFactors], samples: int
+    ) -> tuple[CandidateDesign, int]:
+        settings = self.settings
+        max_spatial = settings.fixed_pe_dim or settings.bounds.max_pe_dim
+        rounded = [f.rounded_mapping(max_spatial=max_spatial) for f in factors]
+
+        if settings.ordering_strategy is LoopOrderingStrategy.ITERATE:
+            selections = best_ordering_per_layer(
+                [LayerFactors.from_mapping(m) for m in rounded]
+            )
+            rounded = [m.with_orderings([ordering] * 4)
+                       for m, ordering in zip(rounded, selections)]
+
+        hardware = minimal_hardware_for_mappings(rounded, bounds=settings.bounds)
+        if settings.fixed_pe_dim is not None:
+            hardware = HardwareConfig(
+                pe_dim=settings.fixed_pe_dim,
+                accumulator_kb=hardware.accumulator_kb,
+                scratchpad_kb=hardware.scratchpad_kb,
+            )
+        performance = evaluate_network_mappings(rounded, GemminiSpec(hardware))
+        performance = self._adjust_performance(rounded, hardware, performance)
+        samples += len(rounded)
+
+        # Continue the descent from the snapped point.
+        for layer_factors, mapping in zip(factors, rounded):
+            layer_factors.load_mapping(mapping)
+
+        return CandidateDesign(hardware=hardware, mappings=rounded,
+                               performance=performance), samples
+
+    # ------------------------------------------------------------------ #
+    def _adjust_performance(
+        self,
+        mappings: list[Mapping],
+        hardware: HardwareConfig,
+        performance: NetworkPerformance,
+    ) -> NetworkPerformance:
+        """Apply the optional latency adjuster (RTL-model experiments)."""
+        if self.latency_adjuster is None:
+            return performance
+        adjusted_latencies = self.latency_adjuster(mappings, hardware)
+        if len(adjusted_latencies) != len(mappings):
+            raise ValueError("latency adjuster must return one latency per mapping")
+        total_latency = sum(
+            latency * mapping.layer.repeats
+            for latency, mapping in zip(adjusted_latencies, mappings)
+        )
+        return NetworkPerformance(
+            total_latency=total_latency,
+            total_energy=performance.total_energy,
+            per_layer=performance.per_layer,
+        )

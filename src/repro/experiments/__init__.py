@@ -1,0 +1,23 @@
+"""Experiment harnesses reproducing every table and figure of the evaluation.
+
+Each module exposes a ``run(...)`` function returning the experiment's numbers
+as plain dictionaries/lists (so tests and benchmarks can call it at reduced
+scale) and a ``main()`` that runs it at a paper-comparable scale and writes
+CSV plus an aligned text table under ``output_dir/``.
+
+=======================  =======================================================
+Module                   Paper result
+=======================  =======================================================
+``fig4_correlation``     Fig. 4  — differentiable model vs reference model error
+``fig6_loop_ordering``   Fig. 6  — loop-ordering strategies (baseline/iterate/softmax)
+``fig7_cosearch``        Fig. 7  — DOSA vs random search vs Bayesian optimization
+``fig8_baselines``       Fig. 8  — DOSA-optimized Gemmini vs expert accelerators
+``fig9_separation``      Fig. 9  — attribution of hardware vs mapping gains
+``fig10_11_surrogate``   Fig. 10/11 — latency-model accuracy (Spearman correlation)
+``fig12_rtl``            Fig. 12 + Table 7 — Gemmini-RTL DSE with learned models
+=======================  =======================================================
+"""
+
+from repro.experiments.common import ExperimentOutput, default_output_dir, write_csv
+
+__all__ = ["ExperimentOutput", "default_output_dir", "write_csv"]

@@ -1,0 +1,58 @@
+"""Shared helpers for the experiment harnesses."""
+
+from __future__ import annotations
+
+import csv
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Sequence
+
+from repro.utils.formatting import format_table
+
+
+def default_output_dir() -> Path:
+    """Directory experiment outputs are written to (``$REPRO_OUTPUT_DIR`` or ./output_dir)."""
+    return Path(os.environ.get("REPRO_OUTPUT_DIR", "output_dir"))
+
+
+def write_csv(path: Path, headers: Sequence[str], rows: Sequence[Sequence[object]]) -> None:
+    """Write a CSV file, creating parent directories as needed."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(headers)
+        writer.writerows(rows)
+
+
+@dataclass
+class ExperimentOutput:
+    """A named table of results that can be printed and persisted."""
+
+    name: str
+    headers: list[str]
+    rows: list[list[object]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, *values: object) -> None:
+        if len(values) != len(self.headers):
+            raise ValueError(f"expected {len(self.headers)} values, got {len(values)}")
+        self.rows.append(list(values))
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def to_text(self) -> str:
+        body = format_table(self.headers, self.rows)
+        if self.notes:
+            body += "\n" + "\n".join(f"# {note}" for note in self.notes)
+        return f"== {self.name} ==\n{body}"
+
+    def save(self, output_dir: Path | None = None) -> Path:
+        """Write CSV + text table under the output directory; returns the CSV path."""
+        output_dir = output_dir or default_output_dir()
+        csv_path = output_dir / f"{self.name}.csv"
+        write_csv(csv_path, self.headers, self.rows)
+        text_path = output_dir / f"{self.name}.txt"
+        text_path.write_text(self.to_text() + "\n")
+        return csv_path

@@ -1,0 +1,66 @@
+"""Figure 6: comparing loop-ordering optimization strategies.
+
+The paper runs DOSA on ResNet-50 and BERT with (a) no loop-ordering search,
+(b) iterative re-selection at every rounding point, and (c) gradient-based
+softmax weighting, reporting that iterate reaches ~1.70x and softmax ~1.58x
+better EDP than the no-search baseline after ~7000 samples.
+"""
+
+from __future__ import annotations
+
+from repro.core.optimizer import DosaSearcher, DosaSettings, LoopOrderingStrategy
+from repro.experiments.common import ExperimentOutput
+from repro.utils.rng import SeedLike
+from repro.workloads.networks import get_network
+
+STRATEGIES = (
+    LoopOrderingStrategy.NONE,
+    LoopOrderingStrategy.ITERATE,
+    LoopOrderingStrategy.SOFTMAX,
+)
+
+
+def run(
+    workloads: tuple[str, ...] = ("resnet50", "bert"),
+    num_start_points: int = 7,
+    gd_steps: int = 890,
+    rounding_period: int = 300,
+    seed: SeedLike = 0,
+) -> dict[str, dict[str, float]]:
+    """Best EDP per workload per strategy; same start-point seed per strategy."""
+    results: dict[str, dict[str, float]] = {}
+    for workload in workloads:
+        network = get_network(workload)
+        per_strategy: dict[str, float] = {}
+        for strategy in STRATEGIES:
+            settings = DosaSettings(
+                num_start_points=num_start_points,
+                gd_steps=gd_steps,
+                rounding_period=rounding_period,
+                ordering_strategy=strategy,
+                seed=seed,
+            )
+            result = DosaSearcher(network, settings).search()
+            per_strategy[strategy.value] = result.best_edp
+        results[workload] = per_strategy
+    return results
+
+
+def main(**kwargs) -> ExperimentOutput:
+    results = run(**kwargs)
+    output = ExperimentOutput(
+        name="fig6_loop_ordering",
+        headers=["workload", "strategy", "best EDP", "improvement vs baseline"],
+    )
+    for workload, per_strategy in results.items():
+        baseline = per_strategy[LoopOrderingStrategy.NONE.value]
+        for strategy, edp in per_strategy.items():
+            output.add_row(workload, strategy, f"{edp:.4e}", round(baseline / edp, 3))
+    output.add_note("Paper (Fig. 6): iterate ~1.70x and softmax ~1.58x better than "
+                    "no loop-ordering search after 7000 samples.")
+    output.save()
+    return output
+
+
+if __name__ == "__main__":
+    print(main().to_text())

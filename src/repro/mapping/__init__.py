@@ -1,0 +1,52 @@
+"""Mapping representation and mappers.
+
+A *mapping* fixes, for one layer, the spatial and temporal tiling factors at
+every memory level and the per-level loop orderings (paper Section 3.1.2).
+This package provides:
+
+* :class:`~repro.mapping.mapping.Mapping` — the factor/ordering container used
+  by both the differentiable model and the iterative reference model,
+* rounding of fractional factors to the nearest valid divisors (Section 5.3.2),
+* a random valid mapper (used by the search baselines and the correlation and
+  surrogate-training datasets),
+* a CoSA-style heuristic mapper used to seed gradient-descent start points and
+  as the "constant mapper" of the Figure 9 study.
+"""
+
+from repro.mapping.mapping import (
+    LoopOrdering,
+    Mapping,
+    SPATIAL_DIMS,
+    ordering_for_tensor,
+    DEFAULT_ORDERINGS,
+)
+from repro.mapping.rounding import round_mapping, round_factors_for_dimension
+from repro.mapping.constraints import (
+    mapping_is_valid,
+    validate_mapping,
+    mapping_fits_hardware,
+    capacity_requirements,
+    minimal_hardware_for_mapping,
+    minimal_hardware_for_mappings,
+)
+from repro.mapping.random_mapper import random_mapping, random_mapping_for_hardware
+from repro.mapping.cosa import cosa_mapping
+
+__all__ = [
+    "LoopOrdering",
+    "Mapping",
+    "SPATIAL_DIMS",
+    "ordering_for_tensor",
+    "DEFAULT_ORDERINGS",
+    "round_mapping",
+    "round_factors_for_dimension",
+    "mapping_is_valid",
+    "validate_mapping",
+    "mapping_fits_hardware",
+    "capacity_requirements",
+    "minimal_hardware_for_mapping",
+    "minimal_hardware_for_mappings",
+    "random_mapping",
+    "random_mapping_for_hardware",
+    "cosa_mapping",
+]

@@ -1,0 +1,71 @@
+"""Rounding of fractional tiling factors to the nearest valid mapping.
+
+Gradient descent produces real-valued tiling factors; before a mapping can be
+evaluated (or hardware derived from it), every factor must be an integer
+divisor of its problem dimension and the per-dimension product must equal the
+problem size exactly.  The procedure follows Section 5.3.2 of the paper:
+factors are rounded to the nearest divisor, iterating from the innermost to
+the outermost memory level, never letting the running product exceed the
+problem size; the outermost (DRAM) temporal factor absorbs the remainder.
+"""
+
+from __future__ import annotations
+
+from repro.arch.components import LEVEL_DRAM, MEMORY_LEVEL_INDICES
+from repro.mapping.mapping import DIM_INDEX, Mapping, SPATIAL_DIMS
+from repro.utils.math_utils import round_to_nearest_divisor
+from repro.workloads.layer import DIMENSIONS
+
+
+def _positions_for_dim(dim: str) -> list[tuple[str, int]]:
+    """Factor positions for ``dim`` ordered innermost to outermost.
+
+    Spatial positions are interleaved at the level the WS dataflow assigns
+    them; the DRAM temporal factor is excluded (it is inferred last).
+    """
+    positions: list[tuple[str, int]] = []
+    spatial_levels = {d: level for level, d in SPATIAL_DIMS}
+    for level in MEMORY_LEVEL_INDICES:
+        if level != LEVEL_DRAM:
+            positions.append(("T", level))
+        if spatial_levels.get(dim) == level:
+            positions.append(("S", level))
+    return positions
+
+
+def round_factors_for_dimension(mapping: Mapping, dim: str, max_spatial: float | None = None) -> None:
+    """Round all factors of one dimension in place (innermost to outermost)."""
+    total = mapping.layer.dim(dim)
+    remaining = total
+    j = DIM_INDEX[dim]
+    for kind, level in _positions_for_dim(dim):
+        raw = mapping.spatial[level, j] if kind == "S" else mapping.temporal[level, j]
+        limit = remaining
+        if kind == "S" and max_spatial is not None:
+            limit = min(limit, int(max_spatial))
+        rounded = round_to_nearest_divisor(max(raw, 1.0), remaining, max_value=limit)
+        if kind == "S":
+            mapping.spatial[level, j] = float(rounded)
+        else:
+            mapping.temporal[level, j] = float(rounded)
+        remaining //= rounded
+    mapping.temporal[LEVEL_DRAM, j] = float(remaining)
+
+
+def round_mapping(mapping: Mapping, max_spatial: float | None = None) -> Mapping:
+    """Return a valid, integral copy of ``mapping``.
+
+    ``max_spatial`` optionally caps the spatial factors (the paper caps the
+    PE array at 128x128, and the Gemmini-RTL experiments fix it to 16x16).
+    """
+    rounded = mapping.copy()
+    # The WS dataflow only supports spatial factors at the C/K positions; any
+    # other spatial entry is structural noise and is reset before rounding.
+    allowed = set(SPATIAL_DIMS)
+    for level in MEMORY_LEVEL_INDICES:
+        for dim in DIMENSIONS:
+            if (level, dim) not in allowed:
+                rounded.spatial[level, DIM_INDEX[dim]] = 1.0
+    for dim in DIMENSIONS:
+        round_factors_for_dimension(rounded, dim, max_spatial=max_spatial)
+    return rounded

@@ -1,0 +1,28 @@
+"""Black-box search baselines compared against DOSA (paper Section 6.3).
+
+* random two-loop search: random hardware designs, each explored with many
+  random mappings per layer,
+* Bayesian-optimization two-loop search: a Gaussian-process surrogate over
+  hardware/mapping features with expected-improvement acquisition
+  (hyperparameters follow the Spotlight-style setup described in Section 6.1),
+* a random-pruned mapping search for a *fixed* hardware design, used to give
+  the expert baseline accelerators of Figure 8 well-tuned mappings.
+"""
+
+from repro.search.results import BestSoFarTrace, SearchOutcome
+from repro.search.random_search import RandomSearcher, RandomSearchSettings
+from repro.search.random_mapper_search import best_random_mappings_for_hardware
+from repro.search.gp import GaussianProcessRegressor, expected_improvement
+from repro.search.bayesian import BayesianSearcher, BayesianSettings
+
+__all__ = [
+    "BestSoFarTrace",
+    "SearchOutcome",
+    "RandomSearcher",
+    "RandomSearchSettings",
+    "best_random_mappings_for_hardware",
+    "GaussianProcessRegressor",
+    "expected_improvement",
+    "BayesianSearcher",
+    "BayesianSettings",
+]

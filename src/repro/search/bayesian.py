@@ -1,0 +1,190 @@
+"""Two-loop Bayesian-optimization baseline (BB-BO).
+
+Mirrors the setup of Section 6.1 (hyperparameters chosen after Spotlight): a
+Gaussian-process surrogate is trained on randomly sampled hardware designs,
+each paired with randomly sampled per-layer mappings evaluated on the
+reference model; the trained surrogate then scores a larger pool of candidate
+hardware/mapping combinations, and the combination with the best predicted
+whole-network EDP is evaluated for real.
+
+Features given to the GP are log-scaled hardware parameters, layer dimensions
+and mapping summary statistics (spatial parallelism, per-level tile sizes),
+which is the same information a black-box optimizer would observe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.arch.components import LEVEL_ACCUMULATOR, LEVEL_SCRATCHPAD
+from repro.arch.config import HardwareConfig, random_hardware_config
+from repro.arch.gemmini import GemminiSpec
+from repro.mapping.constraints import tensor_tile_words
+from repro.mapping.mapping import Mapping
+from repro.mapping.random_mapper import random_mapping_for_hardware
+from repro.search.gp import GaussianProcessRegressor
+from repro.search.results import BestSoFarTrace, SearchOutcome
+from repro.timeloop.model import evaluate_mapping
+from repro.utils.rng import SeedLike, make_rng
+from repro.workloads.layer import DIMENSIONS, LayerDims
+from repro.workloads.networks import Network
+
+
+@dataclass
+class BayesianSettings:
+    """Paper defaults: 100 hardware designs, 100 mappings/layer, 1000 candidates."""
+
+    num_training_hardware: int = 100
+    mappings_per_layer: int = 100
+    num_candidates: int = 1000
+    candidate_mappings_per_layer: int = 20
+    max_gp_points: int = 2000
+    seed: SeedLike = None
+
+    def __post_init__(self) -> None:
+        if min(self.num_training_hardware, self.mappings_per_layer,
+               self.num_candidates, self.candidate_mappings_per_layer) < 1:
+            raise ValueError("search settings must be positive")
+
+
+def mapping_features(hardware: HardwareConfig, layer: LayerDims, mapping: Mapping) -> np.ndarray:
+    """Feature vector describing a (hardware, layer, mapping) triple."""
+    hardware_features = [
+        np.log2(hardware.pe_dim),
+        np.log2(hardware.accumulator_kb),
+        np.log2(hardware.scratchpad_kb),
+    ]
+    layer_features = [np.log2(layer.dim(d)) for d in DIMENSIONS]
+    mapping_features_ = [
+        np.log2(max(mapping.spatial_product(), 1.0)),
+        np.log2(max(tensor_tile_words(mapping, LEVEL_ACCUMULATOR, "O"), 1.0)),
+        np.log2(max(tensor_tile_words(mapping, LEVEL_SCRATCHPAD, "W"), 1.0)),
+        np.log2(max(tensor_tile_words(mapping, LEVEL_SCRATCHPAD, "I"), 1.0)),
+        np.log2(max(mapping.temporal[3, :].prod(), 1.0)),
+    ]
+    return np.array(hardware_features + layer_features + mapping_features_, dtype=float)
+
+
+class BayesianSearcher:
+    """Gaussian-process-guided two-loop hardware/mapping co-search."""
+
+    def __init__(self, network: Network, settings: BayesianSettings | None = None) -> None:
+        self.network = network
+        self.settings = settings or BayesianSettings()
+
+    # ------------------------------------------------------------------ #
+    def search(self) -> SearchOutcome:
+        settings = self.settings
+        rng = make_rng(settings.seed)
+        trace = BestSoFarTrace()
+        samples = 0
+
+        # ---- Phase 1: collect training data (counts as samples). --------- #
+        features: list[np.ndarray] = []
+        targets: list[float] = []
+        best_edp = float("inf")
+        best_hardware: HardwareConfig | None = None
+        best_mappings: list[Mapping] | None = None
+
+        for _ in range(settings.num_training_hardware):
+            hardware = random_hardware_config(seed=rng)
+            spec = GemminiSpec(hardware)
+            chosen: list[Mapping] = []
+            total_latency = 0.0
+            total_energy = 0.0
+            feasible = True
+            for layer in self.network.layers:
+                best_layer = None
+                best_layer_result = None
+                for _ in range(settings.mappings_per_layer):
+                    mapping = random_mapping_for_hardware(layer, hardware, seed=rng,
+                                                          max_attempts=10)
+                    if mapping is None:
+                        continue
+                    result = evaluate_mapping(mapping, spec)
+                    samples += 1
+                    features.append(mapping_features(hardware, layer, mapping))
+                    targets.append(np.log10(result.edp * max(layer.repeats, 1)))
+                    if best_layer_result is None or result.edp < best_layer_result.edp:
+                        best_layer_result = result
+                        best_layer = mapping
+                if best_layer is None:
+                    feasible = False
+                    break
+                chosen.append(best_layer)
+                total_latency += best_layer_result.latency_cycles * layer.repeats
+                total_energy += best_layer_result.energy * layer.repeats
+            if feasible:
+                network_edp = total_latency * total_energy
+                if network_edp < best_edp:
+                    best_edp = network_edp
+                    best_hardware = hardware
+                    best_mappings = chosen
+            trace.record(samples, best_edp if best_edp < float("inf") else 1e30)
+
+        # ---- Phase 2: fit the GP surrogate. ------------------------------ #
+        feature_matrix = np.asarray(features)
+        target_vector = np.asarray(targets)
+        if len(feature_matrix) > settings.max_gp_points:
+            keep = rng.choice(len(feature_matrix), size=settings.max_gp_points, replace=False)
+            feature_matrix = feature_matrix[keep]
+            target_vector = target_vector[keep]
+        gp = GaussianProcessRegressor(length_scale=2.0, noise=1e-2)
+        gp.fit(feature_matrix, target_vector)
+
+        # ---- Phase 3: pick the best predicted candidate and evaluate it. -- #
+        best_predicted: tuple[float, HardwareConfig, list[Mapping]] | None = None
+        for _ in range(settings.num_candidates):
+            hardware = random_hardware_config(seed=rng)
+            candidate_mappings: list[Mapping] = []
+            predicted_total = 0.0
+            feasible = True
+            for layer in self.network.layers:
+                options = []
+                option_features = []
+                for _ in range(settings.candidate_mappings_per_layer):
+                    mapping = random_mapping_for_hardware(layer, hardware, seed=rng,
+                                                          max_attempts=5)
+                    if mapping is not None:
+                        options.append(mapping)
+                        option_features.append(mapping_features(hardware, layer, mapping))
+                if not options:
+                    feasible = False
+                    break
+                predictions = gp.predict(np.asarray(option_features))
+                best_index = int(np.argmin(predictions))
+                candidate_mappings.append(options[best_index])
+                predicted_total += float(predictions[best_index])
+            if not feasible:
+                continue
+            if best_predicted is None or predicted_total < best_predicted[0]:
+                best_predicted = (predicted_total, hardware, candidate_mappings)
+
+        if best_predicted is not None:
+            _, hardware, mappings = best_predicted
+            spec = GemminiSpec(hardware)
+            total_latency = 0.0
+            total_energy = 0.0
+            for layer, mapping in zip(self.network.layers, mappings):
+                result = evaluate_mapping(mapping, spec)
+                samples += 1
+                total_latency += result.latency_cycles * layer.repeats
+                total_energy += result.energy * layer.repeats
+            network_edp = total_latency * total_energy
+            if network_edp < best_edp:
+                best_edp = network_edp
+                best_hardware = hardware
+                best_mappings = mappings
+            trace.record(samples, best_edp)
+
+        if best_hardware is None:
+            raise RuntimeError("Bayesian search found no feasible design")
+        return SearchOutcome(
+            method="bayesian",
+            best_edp=best_edp,
+            best_hardware=best_hardware,
+            best_mappings=best_mappings,
+            trace=trace,
+        )

@@ -1,0 +1,80 @@
+"""Gaussian-process regression and the expected-improvement acquisition.
+
+A small exact GP (RBF kernel with automatic-relevance-style shared length
+scale, Cholesky solve via SciPy) used as the surrogate of the Bayesian
+optimization baseline.  Targets are modelled in log space since layer EDPs
+span many orders of magnitude.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.linalg import cho_factor, cho_solve
+from scipy.stats import norm
+
+
+class GaussianProcessRegressor:
+    """Exact GP regression with an RBF kernel and observation noise."""
+
+    def __init__(self, length_scale: float = 1.0, signal_variance: float = 1.0,
+                 noise: float = 1e-4) -> None:
+        if length_scale <= 0 or signal_variance <= 0 or noise <= 0:
+            raise ValueError("kernel hyperparameters must be positive")
+        self.length_scale = length_scale
+        self.signal_variance = signal_variance
+        self.noise = noise
+        self._train_x: np.ndarray | None = None
+        self._alpha: np.ndarray | None = None
+        self._cho = None
+        self._y_mean = 0.0
+        self._y_std = 1.0
+        self._x_mean: np.ndarray | None = None
+        self._x_std: np.ndarray | None = None
+
+    # ------------------------------------------------------------------ #
+    def _kernel(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        sq_dist = ((a[:, None, :] - b[None, :, :]) ** 2).sum(axis=-1)
+        return self.signal_variance * np.exp(-0.5 * sq_dist / self.length_scale**2)
+
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> "GaussianProcessRegressor":
+        features = np.asarray(features, dtype=float)
+        targets = np.asarray(targets, dtype=float).reshape(-1)
+        if features.ndim != 2 or len(features) != len(targets):
+            raise ValueError("features must be 2-D and aligned with targets")
+        self._x_mean = features.mean(axis=0)
+        std = features.std(axis=0)
+        self._x_std = np.where(std > 1e-12, std, 1.0)
+        x = (features - self._x_mean) / self._x_std
+        self._y_mean = float(targets.mean())
+        self._y_std = float(targets.std()) or 1.0
+        y = (targets - self._y_mean) / self._y_std
+        gram = self._kernel(x, x) + self.noise * np.eye(len(x))
+        self._cho = cho_factor(gram, lower=True)
+        self._alpha = cho_solve(self._cho, y)
+        self._train_x = x
+        return self
+
+    def predict(self, features: np.ndarray, return_std: bool = False):
+        """Posterior mean (and optionally standard deviation) at ``features``."""
+        if self._train_x is None:
+            raise RuntimeError("predict called before fit")
+        features = np.asarray(features, dtype=float)
+        x = (features - self._x_mean) / self._x_std
+        cross = self._kernel(x, self._train_x)
+        mean = cross @ self._alpha * self._y_std + self._y_mean
+        if not return_std:
+            return mean
+        v = cho_solve(self._cho, cross.T)
+        variance = self.signal_variance - np.einsum("ij,ji->i", cross, v)
+        variance = np.maximum(variance, 1e-12)
+        return mean, np.sqrt(variance) * self._y_std
+
+
+def expected_improvement(mean: np.ndarray, std: np.ndarray, best: float,
+                         minimize: bool = True, xi: float = 0.0) -> np.ndarray:
+    """Expected improvement of candidates over the incumbent ``best``."""
+    mean = np.asarray(mean, dtype=float)
+    std = np.maximum(np.asarray(std, dtype=float), 1e-12)
+    improvement = (best - mean - xi) if minimize else (mean - best - xi)
+    z = improvement / std
+    return improvement * norm.cdf(z) + std * norm.pdf(z)

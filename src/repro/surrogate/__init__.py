@@ -1,0 +1,40 @@
+"""Real-hardware latency modelling (paper Sections 4.7 and 6.5).
+
+The paper measures Gemmini-RTL latency with FireSim and trains a small DNN to
+predict the gap between the analytical model and the measurement.  FireSim and
+the Gemmini RTL are not available offline, so this package substitutes a
+synthetic "RTL" latency simulator that applies structured, deterministic
+distortions to the analytical latency (systolic-array fill/drain, DRAM burst
+inefficiency, utilization-dependent stalls, fixed per-layer overheads).  The
+rest of the pipeline is faithful to the paper: dataset generation from random
+mappings of the training workloads, a Mind-Mappings-style MLP difference
+predictor, a DNN-only predictor, the combined analytical+DNN latency model,
+and Spearman-rank-correlation evaluation.
+"""
+
+from repro.surrogate.rtl_sim import RtlSimulator, RtlSimSettings
+from repro.surrogate.features import encode_features, FEATURE_SIZE
+from repro.surrogate.dataset import LatencySample, generate_dataset, train_test_split
+from repro.surrogate.dnn_model import LatencyPredictorDNN, TrainingSettings
+from repro.surrogate.combined import (
+    AnalyticalLatencyModel,
+    CombinedLatencyModel,
+    DnnOnlyLatencyModel,
+    LatencyModel,
+)
+
+__all__ = [
+    "RtlSimulator",
+    "RtlSimSettings",
+    "encode_features",
+    "FEATURE_SIZE",
+    "LatencySample",
+    "generate_dataset",
+    "train_test_split",
+    "LatencyPredictorDNN",
+    "TrainingSettings",
+    "AnalyticalLatencyModel",
+    "CombinedLatencyModel",
+    "DnnOnlyLatencyModel",
+    "LatencyModel",
+]

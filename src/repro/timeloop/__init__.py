@@ -1,0 +1,42 @@
+"""Reference analytical model ("Gemmini-TL" stand-in for Timeloop + Accelergy).
+
+The paper validates its differentiable model against Timeloop, an iterative
+program-based analytical model, and uses Timeloop/Accelergy as the evaluation
+oracle for the search baselines.  This package plays that role in the
+reproduction: an independent implementation of the per-level traffic, roofline
+latency and event-based energy analysis that
+
+* works on integral (rounded) mappings only,
+* uses integer/ceiling semantics for tile sizes, and
+* charges DRAM energy per 64-byte block rather than per element,
+
+which is exactly the behaviour the paper cites as the source of the small
+disagreement with the differentiable model on tiny layers (Section 4.6).
+"""
+
+from repro.timeloop.loopnest import (
+    TrafficBreakdown,
+    analyze_traffic,
+    reload_factor,
+    tile_words,
+)
+from repro.timeloop.model import (
+    PerformanceResult,
+    evaluate_mapping,
+    evaluate_network_mappings,
+    NetworkPerformance,
+)
+from repro.timeloop.accelergy import energy_breakdown, EnergyBreakdown
+
+__all__ = [
+    "TrafficBreakdown",
+    "analyze_traffic",
+    "reload_factor",
+    "tile_words",
+    "PerformanceResult",
+    "evaluate_mapping",
+    "evaluate_network_mappings",
+    "NetworkPerformance",
+    "energy_breakdown",
+    "EnergyBreakdown",
+]

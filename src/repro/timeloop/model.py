@@ -1,0 +1,133 @@
+"""Latency, energy and EDP evaluation of mappings (reference model).
+
+Latency follows the roofline composition of Equation 12: compute latency is
+the MAC count divided by the utilized parallelism, each memory level's latency
+is its access count divided by its bandwidth, and the layer latency is the
+maximum of all of these.  Energy is event-based (Equation 13, via
+:mod:`repro.timeloop.accelergy`), and whole-network EDP multiplies the summed
+energy by the summed latency (Equation 14), scaling repeated layers by their
+repetition count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.components import MEMORY_LEVEL_INDICES
+from repro.arch.config import HardwareConfig
+from repro.arch.gemmini import GemminiSpec
+from repro.mapping.constraints import validate_mapping
+from repro.mapping.mapping import Mapping
+from repro.timeloop.accelergy import energy_breakdown
+from repro.timeloop.loopnest import TrafficBreakdown, analyze_traffic
+
+
+@dataclass(frozen=True)
+class PerformanceResult:
+    """Latency/energy/EDP of one layer's mapping on one hardware config."""
+
+    latency_cycles: float
+    energy: float
+    compute_latency: float
+    memory_latency: dict[int, float]
+    accesses: dict[int, float]
+    macs: float
+
+    @property
+    def edp(self) -> float:
+        return self.latency_cycles * self.energy
+
+    @property
+    def bound(self) -> str:
+        """Whether the layer is compute- or memory-bound under this mapping."""
+        worst_memory = max(self.memory_latency.values())
+        return "compute" if self.compute_latency >= worst_memory else "memory"
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of cycles the PE array spends on useful compute."""
+        if self.latency_cycles <= 0:
+            return 0.0
+        return self.compute_latency / self.latency_cycles
+
+
+def evaluate_mapping(
+    mapping: Mapping,
+    spec: GemminiSpec | HardwareConfig,
+    check_validity: bool = True,
+) -> PerformanceResult:
+    """Evaluate one integral mapping on a hardware configuration.
+
+    ``spec`` may be a :class:`GemminiSpec` or a bare :class:`HardwareConfig`.
+    ``check_validity`` raises if the mapping violates structural constraints
+    (it does *not* check that the mapping fits the hardware — the mapping-first
+    flow derives hardware from mappings, so capacity is a derived quantity).
+    """
+    if isinstance(spec, HardwareConfig):
+        spec = GemminiSpec(spec)
+    if check_validity:
+        problems = validate_mapping(mapping)
+        if problems:
+            raise ValueError(
+                "cannot evaluate an invalid mapping: " + "; ".join(problems)
+            )
+    traffic = analyze_traffic(mapping)
+    return _result_from_traffic(traffic, mapping, spec)
+
+
+def _result_from_traffic(
+    traffic: TrafficBreakdown, mapping: Mapping, spec: GemminiSpec
+) -> PerformanceResult:
+    parallelism = max(mapping.spatial_product(), 1.0)
+    compute_latency = traffic.macs / parallelism
+    memory_latency = {
+        level: traffic.accesses(level) / spec.bandwidth(level)
+        for level in MEMORY_LEVEL_INDICES
+    }
+    latency = max(compute_latency, max(memory_latency.values()))
+    energy = energy_breakdown(traffic, spec).total
+    return PerformanceResult(
+        latency_cycles=latency,
+        energy=energy,
+        compute_latency=compute_latency,
+        memory_latency=memory_latency,
+        accesses=traffic.per_level_accesses(),
+        macs=traffic.macs,
+    )
+
+
+@dataclass(frozen=True)
+class NetworkPerformance:
+    """Aggregate performance of a whole network (Equation 14)."""
+
+    total_latency: float
+    total_energy: float
+    per_layer: tuple[PerformanceResult, ...]
+
+    @property
+    def edp(self) -> float:
+        return self.total_latency * self.total_energy
+
+
+def evaluate_network_mappings(
+    mappings: list[Mapping],
+    spec: GemminiSpec | HardwareConfig,
+    check_validity: bool = True,
+) -> NetworkPerformance:
+    """Evaluate one mapping per unique layer and compose whole-network EDP.
+
+    Each layer's energy and latency are multiplied by its repetition count
+    before summation, then EDP = (sum of energies) x (sum of latencies).
+    """
+    if isinstance(spec, HardwareConfig):
+        spec = GemminiSpec(spec)
+    if not mappings:
+        raise ValueError("evaluate_network_mappings requires at least one mapping")
+    results = [evaluate_mapping(m, spec, check_validity=check_validity) for m in mappings]
+    total_latency = sum(r.latency_cycles * m.layer.repeats for r, m in zip(results, mappings))
+    total_energy = sum(r.energy * m.layer.repeats for r, m in zip(results, mappings))
+    return NetworkPerformance(
+        total_latency=total_latency,
+        total_energy=total_energy,
+        per_layer=tuple(results),
+    )

@@ -1,0 +1,46 @@
+"""Plain-text table and number formatting for experiment output.
+
+The original artifact produces matplotlib figures; this reproduction emits the
+underlying numbers as aligned text tables and CSV files instead.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_si(value: float, unit: str = "", digits: int = 3) -> str:
+    """Format ``value`` with an SI magnitude suffix (k, M, G, T, P, E)."""
+    suffixes = ["", "k", "M", "G", "T", "P", "E"]
+    magnitude = 0
+    scaled = float(value)
+    while abs(scaled) >= 1000.0 and magnitude < len(suffixes) - 1:
+        scaled /= 1000.0
+        magnitude += 1
+    return f"{scaled:.{digits}g}{suffixes[magnitude]}{unit}"
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render a list of rows as an aligned, pipe-separated text table."""
+    str_rows = [[_cell(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        " | ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "-+-".join("-" * w for w in widths),
+    ]
+    for row in str_rows:
+        lines.append(" | ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)

@@ -1,0 +1,20 @@
+"""Random-number-generation helpers.
+
+Every stochastic component of the reproduction (random mappers, search
+baselines, the synthetic RTL simulator's deterministic perturbations, DNN
+weight initialization) accepts either a seed or a ``numpy.random.Generator``.
+This module provides the single conversion point.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+SeedLike = int | np.random.Generator | None
+
+
+def make_rng(seed: SeedLike = None) -> np.random.Generator:
+    """Return a ``numpy.random.Generator`` from a seed, generator, or None."""
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)

@@ -1,0 +1,63 @@
+"""JSON persistence for search results and experiment artifacts.
+
+Search runs are expensive; these helpers let the examples and experiment
+harnesses save the winning design (hardware + per-layer mappings + trace) and
+reload it later for re-evaluation, which is how the paper's artifact ships the
+DOSA-generated mappings to the FireSim evaluation step.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.arch.config import HardwareConfig
+from repro.mapping.mapping import Mapping
+
+
+def hardware_to_dict(config: HardwareConfig) -> dict[str, int]:
+    return {
+        "pe_dim": config.pe_dim,
+        "accumulator_kb": config.accumulator_kb,
+        "scratchpad_kb": config.scratchpad_kb,
+    }
+
+
+def hardware_from_dict(payload: dict[str, Any]) -> HardwareConfig:
+    return HardwareConfig(
+        pe_dim=int(payload["pe_dim"]),
+        accumulator_kb=int(payload["accumulator_kb"]),
+        scratchpad_kb=int(payload["scratchpad_kb"]),
+    )
+
+
+def design_to_dict(hardware: HardwareConfig, mappings: list[Mapping],
+                   metadata: dict[str, Any] | None = None) -> dict[str, Any]:
+    """Serialize a co-design point (hardware + one mapping per unique layer)."""
+    return {
+        "hardware": hardware_to_dict(hardware),
+        "mappings": [m.as_dict() for m in mappings],
+        "metadata": metadata or {},
+    }
+
+
+def design_from_dict(payload: dict[str, Any]) -> tuple[HardwareConfig, list[Mapping], dict]:
+    hardware = hardware_from_dict(payload["hardware"])
+    mappings = [Mapping.from_dict(entry) for entry in payload["mappings"]]
+    return hardware, mappings, dict(payload.get("metadata", {}))
+
+
+def save_design(path: str | Path, hardware: HardwareConfig, mappings: list[Mapping],
+                metadata: dict[str, Any] | None = None) -> Path:
+    """Write a co-design point to ``path`` as JSON; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(design_to_dict(hardware, mappings, metadata), indent=2))
+    return path
+
+
+def load_design(path: str | Path) -> tuple[HardwareConfig, list[Mapping], dict]:
+    """Load a co-design point previously written by :func:`save_design`."""
+    payload = json.loads(Path(path).read_text())
+    return design_from_dict(payload)

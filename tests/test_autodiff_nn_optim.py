@@ -1,0 +1,154 @@
+"""Tests for the optimizers and the neural-network layer library."""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Adam, SGD, Tensor, nn
+from repro.autodiff.optim import LearningRateSchedule
+
+
+class TestSGD:
+    def test_minimizes_quadratic(self):
+        x = Tensor(np.array([5.0]), requires_grad=True)
+        optimizer = SGD([x], lr=0.1)
+        for _ in range(200):
+            optimizer.zero_grad()
+            loss = ((x - 2.0) ** 2).sum()
+            loss.backward()
+            optimizer.step()
+        assert x.data[0] == pytest.approx(2.0, abs=1e-3)
+
+    def test_momentum_changes_trajectory(self):
+        def run(momentum):
+            x = Tensor(np.array([5.0]), requires_grad=True)
+            optimizer = SGD([x], lr=0.01, momentum=momentum)
+            for _ in range(10):
+                optimizer.zero_grad()
+                ((x - 2.0) ** 2).sum().backward()
+                optimizer.step()
+            return float(x.data[0])
+
+        assert run(0.9) != pytest.approx(run(0.0))
+
+    def test_rejects_bad_lr(self):
+        with pytest.raises(ValueError):
+            SGD([Tensor([1.0], requires_grad=True)], lr=0.0)
+
+    def test_rejects_non_grad_parameters(self):
+        with pytest.raises(ValueError):
+            SGD([Tensor([1.0])], lr=0.1)
+
+    def test_rejects_empty_parameters(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+
+class TestAdam:
+    def test_minimizes_rosenbrock_like(self):
+        x = Tensor(np.array([-1.0, 1.5]), requires_grad=True)
+        optimizer = Adam([x], lr=0.05)
+        for _ in range(800):
+            optimizer.zero_grad()
+            a, b = x[0], x[1]
+            loss = (1.0 - a) ** 2 + 10.0 * (b - a * a) ** 2
+            loss.backward()
+            optimizer.step()
+        assert float(x.data[0]) == pytest.approx(1.0, abs=0.05)
+        assert float(x.data[1]) == pytest.approx(1.0, abs=0.1)
+
+    def test_skips_parameters_without_grad(self):
+        x = Tensor(np.array([1.0]), requires_grad=True)
+        y = Tensor(np.array([1.0]), requires_grad=True)
+        optimizer = Adam([x, y], lr=0.1)
+        (x * 2).sum().backward()
+        optimizer.step()
+        assert float(y.data[0]) == 1.0
+        assert float(x.data[0]) != 1.0
+
+    def test_rejects_bad_betas(self):
+        with pytest.raises(ValueError):
+            Adam([Tensor([1.0], requires_grad=True)], betas=(1.0, 0.9))
+
+    def test_lr_schedule_decays(self):
+        optimizer = Adam([Tensor([1.0], requires_grad=True)], lr=1.0)
+        schedule = LearningRateSchedule(optimizer, decay=0.5, every=2)
+        schedule.step()
+        assert optimizer.lr == 1.0
+        schedule.step()
+        assert optimizer.lr == 0.5
+
+
+class TestLinearMLP:
+    def test_linear_shapes(self):
+        layer = nn.Linear(4, 3, seed=0)
+        out = layer(Tensor(np.zeros((5, 4))))
+        assert out.shape == (5, 3)
+
+    def test_linear_rejects_bad_dims(self):
+        with pytest.raises(ValueError):
+            nn.Linear(0, 3)
+
+    def test_mlp_parameter_count(self):
+        model = nn.MLP(4, [8, 8], 1, seed=0)
+        expected = 4 * 8 + 8 + 8 * 8 + 8 + 8 * 1 + 1
+        assert model.num_parameters() == expected
+
+    def test_mlp_rejects_unknown_activation(self):
+        with pytest.raises(ValueError):
+            nn.MLP(2, [2], 1, activation="swish")
+
+    def test_mlp_fits_linear_function(self):
+        rng = np.random.default_rng(0)
+        features = rng.normal(size=(128, 3))
+        targets = features @ np.array([1.0, -2.0, 0.5]) + 0.3
+        model = nn.MLP(3, [16, 16], 1, seed=1)
+        optimizer = Adam(model.parameters(), lr=1e-2)
+        for _ in range(400):
+            optimizer.zero_grad()
+            predictions = model(Tensor(features)).reshape(-1)
+            loss = nn.mse_loss(predictions, Tensor(targets))
+            loss.backward()
+            optimizer.step()
+        assert float(loss.data) < 0.05
+
+    def test_state_dict_roundtrip(self):
+        model = nn.MLP(3, [4], 1, seed=0)
+        clone = nn.MLP(3, [4], 1, seed=99)
+        clone.load_state_dict(model.state_dict())
+        x = Tensor(np.random.default_rng(2).normal(size=(5, 3)))
+        assert np.allclose(model(x).data, clone(x).data)
+
+    def test_load_state_dict_shape_mismatch(self):
+        model = nn.MLP(3, [4], 1, seed=0)
+        other = nn.MLP(3, [5], 1, seed=0)
+        with pytest.raises(ValueError):
+            other.load_state_dict(model.state_dict())
+
+
+class TestLossesAndScaler:
+    def test_mse_loss_zero_for_equal(self):
+        x = Tensor(np.array([1.0, 2.0]))
+        assert nn.mse_loss(x, Tensor(np.array([1.0, 2.0]))).item() == 0.0
+
+    def test_l1_loss(self):
+        pred = Tensor(np.array([1.0, 3.0]))
+        target = Tensor(np.array([2.0, 1.0]))
+        assert nn.l1_loss(pred, target).item() == pytest.approx(1.5)
+
+    def test_huber_matches_mse_for_small_errors(self):
+        pred = Tensor(np.array([0.1, -0.1]))
+        target = Tensor(np.array([0.0, 0.0]))
+        huber = nn.huber_loss(pred, target, delta=1.0).item()
+        assert huber == pytest.approx(0.5 * 0.01, abs=1e-9)
+
+    def test_standard_scaler(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(loc=5.0, scale=3.0, size=(200, 4))
+        scaler = nn.StandardScaler()
+        transformed = scaler.fit_transform(data)
+        assert np.allclose(transformed.mean(axis=0), 0.0, atol=1e-9)
+        assert np.allclose(transformed.std(axis=0), 1.0, atol=1e-9)
+
+    def test_scaler_requires_fit(self):
+        with pytest.raises(RuntimeError):
+            nn.StandardScaler().transform(np.zeros((2, 2)))

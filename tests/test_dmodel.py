@@ -1,0 +1,238 @@
+"""Tests for the DOSA differentiable model (Equations 1-18)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arch import GemminiSpec, HardwareConfig, random_hardware_config
+from repro.autodiff import Adam, Tensor
+from repro.core.dmodel import (
+    DifferentiableHardware,
+    DifferentiableModel,
+    LayerFactors,
+    network_edp_loss,
+    softmax_ordering_loss,
+    validity_penalty,
+)
+from repro.core.dmodel.loss import best_ordering_per_layer, ordering_candidates
+from repro.mapping import LoopOrdering, cosa_mapping, random_mapping
+from repro.timeloop import evaluate_mapping
+from repro.workloads import LayerDims, conv2d_layer, matmul_layer
+from repro.workloads.registry import correlation_layer_pool
+
+
+def _relative_error(a: float, b: float) -> float:
+    return abs(a - b) / max(abs(b), 1e-12)
+
+
+class TestDifferentiableHardware:
+    def test_from_config_matches_table2(self):
+        config = HardwareConfig(16, 32, 128)
+        hardware = DifferentiableHardware.from_config(config)
+        spec = GemminiSpec(config)
+        for level in range(4):
+            assert float(hardware.energy_per_access(level)) == pytest.approx(
+                spec.energy_per_access(level))
+            assert float(hardware.bandwidth(level)) == pytest.approx(spec.bandwidth(level))
+
+    def test_from_requirements_takes_max_side(self):
+        hardware = DifferentiableHardware.from_requirements(
+            spatial_factors=[Tensor(8.0), Tensor(32.0), Tensor(16.0)],
+            accumulator_words=Tensor(1024.0),
+            scratchpad_words=Tensor(2048.0),
+        )
+        assert float(hardware.num_pes.data) == pytest.approx(1024.0)
+        assert float(hardware.accumulator_kb.data) == pytest.approx(4.0)
+        assert float(hardware.scratchpad_kb.data) == pytest.approx(2.0)
+
+    def test_to_config_rounds_up(self):
+        hardware = DifferentiableHardware(num_pes=200.0, accumulator_kb=3.2, scratchpad_kb=7.9)
+        config = hardware.to_config()
+        assert config.pe_dim == 15
+        assert config.accumulator_kb == 4
+        assert config.scratchpad_kb == 8
+
+    def test_gradients_flow_through_epa(self):
+        capacity = Tensor(64.0, requires_grad=True)
+        hardware = DifferentiableHardware(num_pes=256.0, accumulator_kb=capacity,
+                                          scratchpad_kb=128.0)
+        hardware.energy_per_access(1).backward()
+        assert capacity.grad is not None and capacity.grad > 0
+
+
+class TestLayerFactors:
+    def test_roundtrip_through_mapping(self):
+        config = HardwareConfig(16, 32, 128)
+        mapping = cosa_mapping(conv2d_layer(64, 64, 28), config)
+        factors = LayerFactors.from_mapping(mapping)
+        snapshot = factors.snapshot_mapping()
+        assert np.allclose(snapshot.temporal, mapping.temporal, rtol=1e-9)
+        assert np.allclose(snapshot.spatial, mapping.spatial, rtol=1e-9)
+
+    def test_rounded_mapping_is_valid(self):
+        from repro.mapping import mapping_is_valid
+
+        mapping = cosa_mapping(conv2d_layer(64, 64, 28), HardwareConfig(16, 32, 128))
+        factors = LayerFactors.from_mapping(mapping)
+        factors.log_temporal.data += 0.3  # perturb off the divisor lattice
+        assert mapping_is_valid(factors.rounded_mapping(max_spatial=128))
+
+    def test_factor_grid_infers_dram(self):
+        mapping = cosa_mapping(conv2d_layer(64, 64, 28), HardwareConfig(16, 32, 128))
+        factors = LayerFactors.from_mapping(mapping)
+        grid = factors.factor_grid()
+        for dim in ("R", "S", "P", "Q", "C", "K", "N"):
+            product = 1.0
+            for level in range(4):
+                for kind in ("T", "S"):
+                    value = grid[(kind, level, dim)]
+                    product *= float(value.data) if isinstance(value, Tensor) else value
+            assert product == pytest.approx(mapping.layer.dim(dim), rel=1e-9)
+
+    def test_load_mapping_keeps_tensor_identity(self):
+        mapping = cosa_mapping(conv2d_layer(64, 64, 28), HardwareConfig(16, 32, 128))
+        factors = LayerFactors.from_mapping(mapping)
+        original_parameter = factors.log_temporal
+        factors.load_mapping(mapping)
+        assert factors.log_temporal is original_parameter
+
+    def test_with_orderings_shares_parameters(self):
+        mapping = cosa_mapping(conv2d_layer(64, 64, 28), HardwareConfig(16, 32, 128))
+        factors = LayerFactors.from_mapping(mapping)
+        view = factors.with_orderings([LoopOrdering.OUTPUT_STATIONARY] * 4)
+        assert view.log_temporal is factors.log_temporal
+        assert view.orderings[0] is LoopOrdering.OUTPUT_STATIONARY
+
+
+class TestCorrelationWithReference:
+    """The differentiable model must track the reference model closely (Fig. 4)."""
+
+    def test_exact_match_on_valid_mapping_fixed_hardware(self):
+        config = HardwareConfig(16, 32, 128)
+        mapping = cosa_mapping(conv2d_layer(64, 64, 56), config)
+        reference = evaluate_mapping(mapping, GemminiSpec(config))
+        performance = DifferentiableModel.evaluate_layer(
+            LayerFactors.from_mapping(mapping), DifferentiableHardware.from_config(config))
+        assert _relative_error(float(performance.latency.data), reference.latency_cycles) < 1e-6
+        assert _relative_error(float(performance.energy.data), reference.energy) < 0.01
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_close_on_random_mappings_and_configs(self, seed):
+        rng = np.random.default_rng(seed)
+        pool = correlation_layer_pool()
+        layer = pool[int(rng.integers(len(pool)))]
+        config = random_hardware_config(seed=rng)
+        mapping = random_mapping(layer, seed=rng, max_spatial=config.pe_dim)
+        reference = evaluate_mapping(mapping, GemminiSpec(config))
+        performance = DifferentiableModel.evaluate_layer(
+            LayerFactors.from_mapping(mapping), DifferentiableHardware.from_config(config))
+        assert _relative_error(float(performance.latency.data), reference.latency_cycles) < 0.02
+        # Energy differs only through DRAM block rounding, small for real layers.
+        assert _relative_error(float(performance.energy.data), reference.energy) < 0.15
+
+
+class TestGradients:
+    def test_edp_gradient_nonzero_for_all_layers(self):
+        config = HardwareConfig(16, 32, 128)
+        layers = [conv2d_layer(64, 64, 28), matmul_layer(196, 256, 512)]
+        factors = [LayerFactors.from_mapping(cosa_mapping(l, config)) for l in layers]
+        hardware = DifferentiableModel.derive_hardware(factors)
+        performances = DifferentiableModel.evaluate_network(factors, hardware)
+        loss = network_edp_loss(performances, [1, 1])
+        loss.backward()
+        for layer_factors in factors:
+            assert layer_factors.log_temporal.grad is not None
+            assert np.any(layer_factors.log_temporal.grad != 0.0)
+            assert layer_factors.log_spatial.grad is not None
+
+    def test_descent_reduces_model_loss(self):
+        config = HardwareConfig(8, 16, 64)
+        layers = [conv2d_layer(64, 64, 28), matmul_layer(196, 256, 512)]
+        factors = [LayerFactors.from_mapping(cosa_mapping(l, config)) for l in layers]
+        parameters = [p for f in factors for p in f.parameters()]
+        optimizer = Adam(parameters, lr=0.05)
+        losses = []
+        for _ in range(60):
+            optimizer.zero_grad()
+            hardware = DifferentiableModel.derive_hardware(factors)
+            performances = DifferentiableModel.evaluate_network(factors, hardware)
+            loss = network_edp_loss(performances, [1, 1]) + 1e9 * validity_penalty(factors)
+            loss.backward()
+            optimizer.step()
+            losses.append(float(loss.data))
+        assert losses[-1] < losses[0] * 0.8
+
+    def test_spatial_gradient_encourages_parallelism(self):
+        # For a compute-bound layer, increasing the spatial factors lowers
+        # latency, so the gradient of EDP w.r.t. log-spatial must be negative.
+        config = HardwareConfig(4, 64, 256)
+        mapping = cosa_mapping(conv2d_layer(256, 256, 28), config)
+        factors = LayerFactors.from_mapping(mapping)
+        hardware = DifferentiableModel.derive_hardware([factors])
+        performance = DifferentiableModel.evaluate_layer(factors, hardware)
+        performance.edp.backward()
+        assert np.all(factors.log_spatial.grad < 0)
+
+
+class TestPenaltyAndOrderings:
+    def test_validity_penalty_zero_for_valid(self):
+        mapping = cosa_mapping(conv2d_layer(64, 64, 28), HardwareConfig(16, 32, 128))
+        factors = LayerFactors.from_mapping(mapping)
+        assert float(validity_penalty([factors]).data) == pytest.approx(0.0, abs=1e-9)
+
+    def test_validity_penalty_positive_when_overshooting(self):
+        mapping = cosa_mapping(conv2d_layer(64, 64, 28), HardwareConfig(16, 32, 128))
+        factors = LayerFactors.from_mapping(mapping)
+        # Inflate an inner factor beyond the problem size: the inferred DRAM
+        # factor drops below 1 and the Eq. 18 penalty must fire.
+        factors.log_temporal.data[0, :] += 3.0
+        assert float(validity_penalty([factors]).data) > 0.0
+
+    def test_ordering_candidates_cover_ws_is_os(self):
+        mapping = cosa_mapping(conv2d_layer(64, 64, 28), HardwareConfig(16, 32, 128))
+        candidates = ordering_candidates(LayerFactors.from_mapping(mapping))
+        assert [c.orderings[0].value for c in candidates] == ["WS", "IS", "OS"]
+
+    def test_best_ordering_returns_one_per_layer(self):
+        config = HardwareConfig(16, 32, 128)
+        factors = [LayerFactors.from_mapping(cosa_mapping(l, config))
+                   for l in (conv2d_layer(64, 64, 28), matmul_layer(64, 128, 256))]
+        selections = best_ordering_per_layer(factors)
+        assert len(selections) == 2
+        assert all(isinstance(s, LoopOrdering) for s in selections)
+
+    def test_softmax_loss_close_to_best_ordering_loss(self):
+        config = HardwareConfig(16, 32, 128)
+        factors = [LayerFactors.from_mapping(cosa_mapping(conv2d_layer(64, 64, 28), config))]
+        hardware = DifferentiableModel.derive_hardware(factors)
+        soft = float(softmax_ordering_loss(factors, [1], hardware).data)
+        per_ordering = []
+        for candidate in ordering_candidates(factors[0]):
+            perf = DifferentiableModel.evaluate_layer(candidate, hardware)
+            per_ordering.append(float(perf.edp.data))
+        assert min(per_ordering) <= soft <= max(per_ordering) * 1.01
+
+    def test_network_loss_requires_matching_repeats(self):
+        config = HardwareConfig(16, 32, 128)
+        factors = [LayerFactors.from_mapping(cosa_mapping(conv2d_layer(64, 64, 28), config))]
+        performances = DifferentiableModel.evaluate_network(factors)
+        with pytest.raises(ValueError):
+            network_edp_loss(performances, [1, 2])
+
+
+class TestHardwareDerivation:
+    def test_derived_hardware_supports_all_layers(self):
+        config = HardwareConfig(16, 32, 128)
+        layers = [conv2d_layer(64, 64, 56), matmul_layer(512, 768, 768)]
+        factors = [LayerFactors.from_mapping(cosa_mapping(l, config)) for l in layers]
+        hardware = DifferentiableModel.derive_hardware(factors)
+        derived = hardware.to_config()
+        from repro.mapping import mapping_fits_hardware
+
+        for layer_factors in factors:
+            assert mapping_fits_hardware(layer_factors.rounded_mapping(), derived)
+
+    def test_derive_hardware_rejects_empty(self):
+        with pytest.raises(ValueError):
+            DifferentiableModel.derive_hardware([])

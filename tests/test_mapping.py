@@ -1,0 +1,246 @@
+"""Tests for the mapping package: representation, rounding, mappers, constraints."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arch import HardwareConfig
+from repro.mapping import (
+    LoopOrdering,
+    Mapping,
+    capacity_requirements,
+    cosa_mapping,
+    mapping_fits_hardware,
+    mapping_is_valid,
+    minimal_hardware_for_mapping,
+    minimal_hardware_for_mappings,
+    random_mapping,
+    random_mapping_for_hardware,
+    round_mapping,
+    validate_mapping,
+)
+from repro.mapping.mapping import identity_mapping, ordering_for_tensor
+from repro.workloads import LayerDims, conv2d_layer, matmul_layer
+from repro.workloads.registry import correlation_layer_pool
+
+
+def fig3_layer() -> LayerDims:
+    return LayerDims(R=1, S=1, P=56, Q=56, C=64, K=64, N=1, name="fig3")
+
+
+def fig3_mapping() -> Mapping:
+    mapping = Mapping(layer=fig3_layer())
+    mapping.set_spatial(1, "C", 64)
+    mapping.set_spatial(2, "K", 64)
+    mapping.set_temporal(0, "Q", 14)
+    mapping.set_temporal(3, "Q", 4)
+    mapping.set_temporal(3, "P", 56)
+    return mapping
+
+
+# Strategy: layers with highly-composite-ish dimensions, as DNN layers are.
+layer_strategy = st.builds(
+    LayerDims,
+    R=st.sampled_from([1, 3, 5, 7]),
+    S=st.sampled_from([1, 3, 5, 7]),
+    P=st.sampled_from([1, 7, 14, 28, 56, 112]),
+    Q=st.sampled_from([1, 7, 14, 28, 56]),
+    C=st.sampled_from([3, 16, 64, 128, 512]),
+    K=st.sampled_from([8, 64, 256, 1000]),
+    N=st.sampled_from([1, 2, 4]),
+)
+
+
+class TestMappingContainer:
+    def test_defaults_are_all_ones(self):
+        mapping = Mapping(layer=fig3_layer())
+        assert mapping.factor_product("C") == 1.0
+        assert mapping.spatial_product() == 1.0
+
+    def test_factor_product(self):
+        mapping = fig3_mapping()
+        for dim in ("P", "Q", "C", "K"):
+            assert mapping.factor_product(dim) == mapping.layer.dim(dim)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            Mapping(layer=fig3_layer(), temporal=np.ones((2, 7)))
+
+    def test_ordering_validation(self):
+        with pytest.raises(ValueError):
+            Mapping(layer=fig3_layer(), orderings=(LoopOrdering.WEIGHT_STATIONARY,))
+
+    def test_ordering_for_tensor_places_irrelevant_innermost(self):
+        order = ordering_for_tensor(LoopOrdering.WEIGHT_STATIONARY)
+        # P, Q, N are irrelevant to weights and must appear before R, S, C, K.
+        assert set(order[:3]) == {"P", "Q", "N"}
+
+    def test_with_dram_inferred(self):
+        mapping = Mapping(layer=fig3_layer())
+        mapping.set_temporal(0, "Q", 14)
+        inferred = mapping.with_dram_inferred()
+        assert inferred.factor_product("Q") == pytest.approx(56)
+        assert inferred.temporal_factor(3, "Q") == pytest.approx(4)
+
+    def test_serialization_roundtrip(self):
+        mapping = fig3_mapping()
+        restored = Mapping.from_dict(mapping.as_dict())
+        assert np.allclose(restored.temporal, mapping.temporal)
+        assert np.allclose(restored.spatial, mapping.spatial)
+        assert restored.orderings == mapping.orderings
+        assert restored.layer.dims_key() == mapping.layer.dims_key()
+
+    def test_describe_contains_spatial_loop(self):
+        assert "spatial_for" in fig3_mapping().describe()
+
+    def test_identity_mapping_is_valid(self):
+        assert mapping_is_valid(identity_mapping(fig3_layer()))
+
+
+class TestConstraints:
+    def test_fig3_capacities_match_paper(self):
+        caps = capacity_requirements(fig3_mapping())
+        assert caps[0] == pytest.approx(4096)     # per-PE registers: one weight each
+        assert caps[1] == pytest.approx(896)      # accumulator output tile
+        assert caps[2] == pytest.approx(4096 + 896)  # scratchpad weights + inputs
+
+    def test_fig3_minimal_hardware_matches_figure(self):
+        config = minimal_hardware_for_mapping(fig3_mapping())
+        assert config.pe_dim == 64
+        assert config.accumulator_kb == 4      # 896 words x 4 B -> 3.5 KB -> 4 KB
+        assert config.scratchpad_kb == 5       # 4992 words x 1 B -> 4.875 KB -> 5 KB
+
+    def test_validate_detects_bad_product(self):
+        mapping = fig3_mapping()
+        mapping.set_temporal(3, "P", 55)
+        assert any("multiply" in problem for problem in validate_mapping(mapping))
+
+    def test_validate_detects_small_factor(self):
+        mapping = fig3_mapping()
+        mapping.set_temporal(0, "Q", 0.5)
+        assert not mapping_is_valid(mapping)
+
+    def test_validate_detects_illegal_spatial_position(self):
+        mapping = fig3_mapping()
+        mapping.spatial[0, 2] = 2.0  # spatial P at the register level: unsupported
+        assert not mapping_is_valid(mapping)
+
+    def test_fits_hardware(self):
+        mapping = fig3_mapping()
+        assert mapping_fits_hardware(mapping, HardwareConfig(64, 4, 8))
+        assert not mapping_fits_hardware(mapping, HardwareConfig(32, 4, 8))
+        assert not mapping_fits_hardware(mapping, HardwareConfig(64, 1, 8))
+        assert not mapping_fits_hardware(mapping, HardwareConfig(64, 4, 2))
+
+    def test_minimal_hardware_for_mappings_takes_max(self):
+        small = cosa_mapping(matmul_layer(16, 16, 16), HardwareConfig(4, 8, 16))
+        large = fig3_mapping()
+        merged = minimal_hardware_for_mappings([small, large])
+        assert merged.pe_dim == 64
+
+
+class TestRounding:
+    def test_rounding_preserves_valid_mapping(self):
+        mapping = fig3_mapping()
+        rounded = round_mapping(mapping)
+        assert np.allclose(rounded.temporal, mapping.temporal)
+        assert np.allclose(rounded.spatial, mapping.spatial)
+
+    def test_rounding_fixes_fractional_factors(self):
+        mapping = fig3_mapping()
+        mapping.set_temporal(0, "Q", 13.7)
+        rounded = round_mapping(mapping)
+        assert mapping_is_valid(rounded)
+        assert rounded.temporal_factor(0, "Q") == 14
+
+    def test_max_spatial_cap(self):
+        mapping = fig3_mapping()
+        rounded = round_mapping(mapping, max_spatial=16)
+        assert mapping_is_valid(rounded)
+        assert rounded.spatial_factor(1, "C") <= 16
+        assert rounded.spatial_factor(2, "K") <= 16
+
+    @settings(max_examples=40, deadline=None)
+    @given(layer_strategy, st.integers(0, 10_000))
+    def test_rounding_random_perturbations_always_valid(self, layer, seed):
+        rng = np.random.default_rng(seed)
+        mapping = random_mapping(layer, seed=seed)
+        noisy = mapping.copy()
+        noisy.temporal *= rng.uniform(0.4, 2.5, size=noisy.temporal.shape)
+        noisy.spatial *= rng.uniform(0.4, 2.5, size=noisy.spatial.shape)
+        rounded = round_mapping(noisy, max_spatial=128)
+        assert mapping_is_valid(rounded)
+
+
+class TestRandomMapper:
+    @settings(max_examples=40, deadline=None)
+    @given(layer_strategy, st.integers(0, 10_000))
+    def test_random_mappings_are_valid(self, layer, seed):
+        mapping = random_mapping(layer, seed=seed)
+        assert mapping_is_valid(mapping)
+
+    def test_spatial_cap_respected(self):
+        layer = LayerDims(C=1024, K=1024, P=8, Q=8)
+        for seed in range(10):
+            mapping = random_mapping(layer, seed=seed, max_spatial=32)
+            assert mapping.spatial_factor(1, "C") <= 32
+            assert mapping.spatial_factor(2, "K") <= 32
+
+    def test_seed_reproducibility(self):
+        layer = conv2d_layer(64, 64, 28)
+        a = random_mapping(layer, seed=7)
+        b = random_mapping(layer, seed=7)
+        assert np.allclose(a.temporal, b.temporal)
+        assert np.allclose(a.spatial, b.spatial)
+        assert a.orderings == b.orderings
+
+    def test_random_mapping_for_hardware_fits(self):
+        layer = conv2d_layer(64, 64, 28)
+        config = HardwareConfig(16, 32, 128)
+        mapping = random_mapping_for_hardware(layer, config, seed=0)
+        assert mapping is not None
+        assert mapping_fits_hardware(mapping, config)
+
+    def test_random_mapping_for_hardware_can_fail(self):
+        # A tiny accumulator cannot hold even one output row of a large layer
+        # for most random mappings; with one attempt failure is expected.
+        layer = conv2d_layer(512, 512, 56)
+        config = HardwareConfig(1, 1, 1)
+        result = random_mapping_for_hardware(layer, config, seed=1, max_attempts=1)
+        assert result is None or mapping_fits_hardware(result, config)
+
+
+class TestCosaMapper:
+    @pytest.mark.parametrize("config", [
+        HardwareConfig(4, 8, 32),
+        HardwareConfig(16, 32, 128),
+        HardwareConfig(64, 256, 512),
+    ])
+    def test_cosa_mappings_valid_and_fit(self, config):
+        for layer in correlation_layer_pool()[:20]:
+            mapping = cosa_mapping(layer, config)
+            assert mapping_is_valid(mapping)
+            assert mapping_fits_hardware(mapping, config)
+
+    def test_cosa_uses_spatial_parallelism(self):
+        config = HardwareConfig(16, 32, 128)
+        mapping = cosa_mapping(conv2d_layer(64, 64, 56), config)
+        assert mapping.spatial_factor(1, "C") == 16
+        assert mapping.spatial_factor(2, "K") == 16
+
+    def test_cosa_beats_random_mapping_on_average(self):
+        from repro.arch import GemminiSpec
+        from repro.timeloop import evaluate_mapping
+
+        config = HardwareConfig(16, 32, 128)
+        spec = GemminiSpec(config)
+        layers = correlation_layer_pool()[:8]
+        cosa_edp = np.mean([np.log(evaluate_mapping(cosa_mapping(l, config), spec).edp)
+                            for l in layers])
+        random_edp = np.mean([np.log(evaluate_mapping(random_mapping(l, seed=0, max_spatial=16), spec).edp)
+                              for l in layers])
+        assert cosa_edp < random_edp
+
+    def test_cosa_rejects_bad_partition(self):
+        with pytest.raises(ValueError):
+            cosa_mapping(conv2d_layer(3, 8, 8), HardwareConfig(4, 8, 8), scratchpad_partition=1.5)

@@ -1,0 +1,138 @@
+"""Tests for the random-search and Bayesian-optimization baselines and the GP."""
+
+import numpy as np
+import pytest
+
+from repro.arch import HardwareConfig
+from repro.search import (
+    BayesianSearcher,
+    BayesianSettings,
+    BestSoFarTrace,
+    GaussianProcessRegressor,
+    RandomSearcher,
+    RandomSearchSettings,
+    best_random_mappings_for_hardware,
+    expected_improvement,
+)
+from repro.mapping import mapping_fits_hardware, mapping_is_valid
+from repro.workloads.layer import conv2d_layer, matmul_layer
+from repro.workloads.networks import Network
+
+
+def tiny_network() -> Network:
+    return Network(name="tiny", layers=[
+        conv2d_layer(32, 64, 14, name="conv"),
+        matmul_layer(64, 128, 256, name="fc"),
+    ])
+
+
+class TestBestSoFarTrace:
+    def test_monotone(self):
+        trace = BestSoFarTrace()
+        trace.record(1, 10.0)
+        trace.record(2, 20.0)
+        trace.record(3, 5.0)
+        assert trace.best_edp == [10.0, 10.0, 5.0]
+        assert trace.best_after(2) == 10.0
+        assert trace.final_best == 5.0
+        assert trace.total_samples == 3
+
+
+class TestGaussianProcess:
+    def test_interpolates_training_points(self):
+        rng = np.random.default_rng(0)
+        x = rng.uniform(-2, 2, size=(30, 2))
+        y = np.sin(x[:, 0]) + 0.5 * x[:, 1]
+        gp = GaussianProcessRegressor(length_scale=1.0, noise=1e-6).fit(x, y)
+        predictions = gp.predict(x)
+        assert np.max(np.abs(predictions - y)) < 0.05
+
+    def test_uncertainty_grows_away_from_data(self):
+        x = np.linspace(0, 1, 10).reshape(-1, 1)
+        y = np.sin(3 * x).ravel()
+        gp = GaussianProcessRegressor(length_scale=0.2).fit(x, y)
+        _, std_near = gp.predict(np.array([[0.5]]), return_std=True)
+        _, std_far = gp.predict(np.array([[5.0]]), return_std=True)
+        assert std_far[0] > std_near[0]
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            GaussianProcessRegressor().predict(np.zeros((1, 2)))
+
+    def test_rejects_bad_hyperparameters(self):
+        with pytest.raises(ValueError):
+            GaussianProcessRegressor(length_scale=0.0)
+
+    def test_fit_rejects_mismatched_shapes(self):
+        with pytest.raises(ValueError):
+            GaussianProcessRegressor().fit(np.zeros((3, 2)), np.zeros(4))
+
+    def test_expected_improvement_prefers_low_mean_for_minimization(self):
+        ei = expected_improvement(np.array([1.0, 5.0]), np.array([1.0, 1.0]), best=3.0)
+        assert ei[0] > ei[1]
+
+    def test_expected_improvement_zero_std_safe(self):
+        ei = expected_improvement(np.array([10.0]), np.array([0.0]), best=1.0)
+        assert np.isfinite(ei).all()
+
+
+class TestRandomSearcher:
+    def test_settings_validation(self):
+        with pytest.raises(ValueError):
+            RandomSearchSettings(num_hardware_designs=0)
+
+    def test_search_returns_feasible_design(self):
+        settings = RandomSearchSettings(num_hardware_designs=3, mappings_per_layer=15, seed=0)
+        outcome = RandomSearcher(tiny_network(), settings).search()
+        assert outcome.method == "random"
+        assert outcome.best_edp > 0
+        assert len(outcome.best_mappings) == 2
+        for mapping in outcome.best_mappings:
+            assert mapping_is_valid(mapping)
+        assert outcome.trace.total_samples > 0
+        assert outcome.trace.final_best == pytest.approx(outcome.best_edp)
+
+    def test_more_samples_never_hurts(self):
+        small = RandomSearcher(tiny_network(),
+                               RandomSearchSettings(2, 10, seed=1)).search()
+        large = RandomSearcher(tiny_network(),
+                               RandomSearchSettings(6, 10, seed=1)).search()
+        assert large.best_edp <= small.best_edp * (1 + 1e-9)
+
+
+class TestBayesianSearcher:
+    def test_settings_validation(self):
+        with pytest.raises(ValueError):
+            BayesianSettings(num_training_hardware=0)
+
+    def test_search_returns_feasible_design(self):
+        settings = BayesianSettings(num_training_hardware=3, mappings_per_layer=8,
+                                    num_candidates=5, candidate_mappings_per_layer=5, seed=0)
+        outcome = BayesianSearcher(tiny_network(), settings).search()
+        assert outcome.method == "bayesian"
+        assert outcome.best_edp > 0
+        assert len(outcome.best_mappings) == 2
+        assert outcome.trace.total_samples > 0
+
+
+class TestRandomMapperSearch:
+    def test_mappings_fit_fixed_hardware(self):
+        hardware = HardwareConfig(16, 32, 128)
+        mappings, performance = best_random_mappings_for_hardware(
+            tiny_network(), hardware, mappings_per_layer=20, seed=0)
+        assert len(mappings) == 2
+        assert performance.edp > 0
+        for mapping in mappings:
+            assert mapping_is_valid(mapping)
+            assert mapping_fits_hardware(mapping, hardware)
+
+    def test_rejects_zero_mappings(self):
+        with pytest.raises(ValueError):
+            best_random_mappings_for_hardware(tiny_network(), HardwareConfig(16, 32, 128),
+                                              mappings_per_layer=0)
+
+    def test_more_mappings_never_hurts(self):
+        hardware = HardwareConfig(16, 32, 128)
+        _, small = best_random_mappings_for_hardware(tiny_network(), hardware, 5, seed=2)
+        _, large = best_random_mappings_for_hardware(tiny_network(), hardware, 40, seed=2)
+        assert large.edp <= small.edp * (1 + 1e-9)
