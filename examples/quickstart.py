@@ -1,14 +1,15 @@
-"""Quickstart: co-search hardware and mappings for a small DNN with DOSA.
+"""Quickstart: co-search hardware and mappings for a small DNN with repro.optimize().
 
-Runs the one-loop gradient-descent search on a three-layer network with
-reduced settings (a couple of minutes on a laptop), then prints the derived
-hardware configuration, the best mapping of each layer, and the improvement
-over the search's own starting point.
+Runs the DOSA one-loop gradient search on a three-layer network through the
+unified search API — one call, a sample budget, and live progress callbacks —
+then prints the derived hardware configuration, the best mapping of each
+layer, and a comparison against the random-search baseline run through the
+same API with the same budget.
 
 Run with:  python examples/quickstart.py
 """
 
-from repro import DosaSearcher, DosaSettings, GemminiSpec, evaluate_network_mappings
+import repro
 from repro.workloads import conv2d_layer, matmul_layer
 from repro.workloads.networks import Network
 
@@ -26,26 +27,26 @@ def main() -> None:
     network = build_workload()
     print(network.describe())
     print()
-
-    settings = DosaSettings(
-        num_start_points=2,
-        gd_steps=300,
-        rounding_period=100,
-        seed=0,
-    )
-    result = DosaSearcher(network, settings).search()
-
-    start = result.start_points[0]
-    start_edp = evaluate_network_mappings(start.mappings, GemminiSpec(start.hardware)).edp
-
-    print("Search finished.")
-    print(f"  samples used:        {result.trace.total_samples}")
-    print(f"  start-point EDP:     {start_edp:.4e}")
-    print(f"  best EDP found:      {result.best_edp:.4e}")
-    print(f"  improvement:         {start_edp / result.best_edp:.2f}x")
-    print(f"  derived hardware:    {result.best.hardware.describe()}")
+    print(f"available strategies: {', '.join(repro.available_strategies())}")
     print()
-    for mapping in result.best.mappings:
+
+    # One entry point for every strategy: same budget, same outcome type.
+    budget = repro.SearchBudget(max_samples=800)
+    outcome = repro.optimize(network, strategy="dosa", budget=budget, seed=0,
+                             callbacks=repro.ProgressCallback(prefix="[dosa]"))
+    baseline = repro.optimize(network, strategy="random", budget=budget, seed=0)
+
+    print()
+    print("Search finished.")
+    print(f"  samples used:        {outcome.total_samples} "
+          f"(budget: {budget.max_samples})")
+    print(f"  wall time:           {outcome.wall_time_seconds:.1f}s")
+    print(f"  best EDP found:      {outcome.best_edp:.4e}")
+    print(f"  random baseline EDP: {baseline.best_edp:.4e} "
+          f"({baseline.best_edp / outcome.best_edp:.2f}x worse)")
+    print(f"  derived hardware:    {outcome.best_hardware.describe()}")
+    print()
+    for mapping in outcome.best_mappings:
         print(mapping.describe())
         print()
 

@@ -1,39 +1,42 @@
 """Co-design a Gemmini-style accelerator for ResNet-50 and compare to baselines.
 
-Reproduces, at reduced scale, the workflow behind Figures 7 and 8: run the
-DOSA one-loop search on ResNet-50, then evaluate the expert baseline
-accelerators (Eyeriss, NVDLA Small/Large, default Gemmini) with a random
-mapping search on the same workload, and print the normalized EDP comparison.
+Reproduces, at reduced scale, the workflow behind Figures 7 and 8 using only
+the unified search API: run the ``"dosa"`` strategy on ResNet-50, then give
+each expert baseline accelerator (Eyeriss, NVDLA Small/Large, default
+Gemmini) well-tuned mappings with the ``"fixed_hw_random"`` strategy, and
+print the normalized EDP comparison.
 
 Run with:  python examples/resnet50_codesign.py
 """
 
-from repro import DosaSearcher, DosaSettings
+import repro
+from repro import DosaSettings
 from repro.arch import baseline_accelerators
-from repro.search import best_random_mappings_for_hardware
+from repro.search import FixedHardwareSettings
 from repro.utils.formatting import format_table
-from repro.workloads import get_network
 
 
 def main() -> None:
-    network = get_network("resnet50")
+    network = repro.get_network("resnet50")
     print(f"workload: {network.name} — {network.num_unique_layers} unique layers, "
           f"{network.total_macs / 1e9:.2f} GMACs")
 
     settings = DosaSettings(num_start_points=2, gd_steps=300, rounding_period=100, seed=0)
     print("running DOSA one-loop search (reduced settings)...")
-    dosa = DosaSearcher(network, settings).search()
-    print(f"  DOSA hardware: {dosa.best.hardware.describe()}")
+    dosa = repro.optimize(network, strategy="dosa", settings=settings)
+    print(f"  DOSA hardware: {dosa.best_hardware.describe()}")
     print(f"  DOSA EDP:      {dosa.best_edp:.4e}")
 
     rows = []
     for baseline in baseline_accelerators():
         print(f"evaluating {baseline.name} with a random mapping search...")
-        _, performance = best_random_mappings_for_hardware(
-            network, baseline.config, mappings_per_layer=200, seed=0)
+        outcome = repro.optimize(network, strategy="fixed_hw_random",
+                                 hardware=baseline.config,
+                                 settings=FixedHardwareSettings(mappings_per_layer=200,
+                                                                seed=0))
         rows.append([baseline.name, baseline.config.describe(),
-                     f"{performance.edp:.3e}", f"{performance.edp / dosa.best_edp:.1f}x"])
-    rows.append(["Gemmini DOSA", dosa.best.hardware.describe(),
+                     f"{outcome.best_edp:.3e}", f"{outcome.best_edp / dosa.best_edp:.1f}x"])
+    rows.append(["Gemmini DOSA", dosa.best_hardware.describe(),
                  f"{dosa.best_edp:.3e}", "1.0x"])
 
     print()

@@ -9,25 +9,50 @@ The package is organized bottom-up:
 * :mod:`repro.mapping` — mappings, rounding, random and CoSA-style mappers,
 * :mod:`repro.timeloop` — the iterative reference analytical model (Timeloop stand-in),
 * :mod:`repro.core` — the differentiable model (Eq. 1-18) and the DOSA searcher,
-* :mod:`repro.search` — random-search and Bayesian-optimization baselines,
+* :mod:`repro.search` — the unified search API (protocol, registry, budget,
+  callbacks) plus the random-search and Bayesian-optimization baselines,
 * :mod:`repro.surrogate` — the synthetic Gemmini-RTL simulator and learned latency models,
 * :mod:`repro.experiments` — one harness per paper table/figure.
 
-Quick start::
+Quick start — one entry point for every search strategy::
 
-    from repro import DosaSearcher, DosaSettings, get_network
+    import repro
 
-    result = DosaSearcher(get_network("resnet50"), DosaSettings(seed=0)).search()
-    print(result.best.hardware.describe(), result.best_edp)
+    outcome = repro.optimize("resnet50", strategy="dosa",
+                             budget=repro.SearchBudget(max_samples=5000), seed=0)
+    print(outcome.best_hardware.describe(), outcome.best_edp)
+
+    for strategy in repro.available_strategies():   # dosa, random, bayesian, ...
+        print(strategy)
+
+Every strategy returns the same :class:`repro.SearchOutcome` with a
+sample-indexed best-so-far trace, so methods are directly comparable as in
+the paper's Figures 7-9.  The same search is available from the shell::
+
+    python -m repro.cli search resnet50 --strategy dosa --max-samples 5000 --json out.json
 """
 
 from repro.arch import GemminiSpec, HardwareConfig
 from repro.core.optimizer import DosaSearcher, DosaSettings, LoopOrderingStrategy
 from repro.mapping import Mapping, cosa_mapping, random_mapping
+from repro.search.api import (
+    CandidateDesign,
+    ProgressCallback,
+    SearchBudget,
+    SearchCallback,
+    Searcher,
+    SearchOutcome,
+    SearchTrace,
+    available_strategies,
+    create_searcher,
+    get_searcher,
+    optimize,
+    register_searcher,
+)
 from repro.timeloop import evaluate_mapping, evaluate_network_mappings
 from repro.workloads import LayerDims, conv2d_layer, get_network, matmul_layer
 
-__version__ = "1.0.0"
+__version__ = "2.0.0"
 
 __all__ = [
     "GemminiSpec",
@@ -38,6 +63,18 @@ __all__ = [
     "Mapping",
     "cosa_mapping",
     "random_mapping",
+    "CandidateDesign",
+    "ProgressCallback",
+    "SearchBudget",
+    "SearchCallback",
+    "Searcher",
+    "SearchOutcome",
+    "SearchTrace",
+    "available_strategies",
+    "create_searcher",
+    "get_searcher",
+    "optimize",
+    "register_searcher",
     "evaluate_mapping",
     "evaluate_network_mappings",
     "LayerDims",

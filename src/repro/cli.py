@@ -1,6 +1,6 @@
-"""Command-line entry point for running the reproduction experiments.
+"""Command-line entry point for the reproduction experiments and searches.
 
-Usage::
+Experiment harnesses (one per paper figure)::
 
     python -m repro.cli list
     python -m repro.cli fig4 --scale small
@@ -11,6 +11,20 @@ Usage::
 benchmark suite (minutes); ``--scale paper`` uses the Section 6.1 budgets
 (hours).  Outputs are written to ``output_dir/`` (override with the
 ``REPRO_OUTPUT_DIR`` environment variable).
+
+Unified search (any registered strategy, one outcome format)::
+
+    python -m repro.cli search resnet50 --strategy dosa --max-samples 5000
+    python -m repro.cli search bert --strategy random --max-samples 2000 \\
+        --seed 7 --json outcome.json
+    python -m repro.cli search unet --strategy bayesian --max-seconds 120
+
+``search`` resolves the strategy through the registry
+(:func:`repro.search.api.get_searcher`), enforces the ``--max-samples`` /
+``--max-seconds`` budget uniformly, prints best-so-far progress via the
+callback hooks, and can persist the full outcome (best design, trace,
+settings snapshot) as JSON with ``--json`` for later reloading through
+:func:`repro.utils.serialization.load_outcome`.
 """
 
 from __future__ import annotations
@@ -79,24 +93,103 @@ def _run_one(name: str, scale: str) -> None:
     print()
 
 
-def main(argv: list[str] | None = None) -> int:
+def _run_search(args: argparse.Namespace) -> int:
+    from repro.arch.config import HardwareConfig
+    from repro.search.api import ProgressCallback, SearchBudget, optimize
+    from repro.utils.serialization import save_outcome
+
+    try:
+        budget = SearchBudget(max_samples=args.max_samples, max_seconds=args.max_seconds)
+    except ValueError as error:
+        print(f"repro.cli search: error: {error}", file=sys.stderr)
+        return 2
+    if args.strategy == "fixed_hw_random" and not args.fixed_hardware:
+        print("repro.cli search: error: --strategy fixed_hw_random requires "
+              "--fixed-hardware PE_DIM ACC_KB SP_KB", file=sys.stderr)
+        return 2
+    if args.fixed_hardware and args.strategy != "fixed_hw_random":
+        print("repro.cli search: error: --fixed-hardware only applies to "
+              "--strategy fixed_hw_random", file=sys.stderr)
+        return 2
+    searcher_kwargs = {}
+    if args.fixed_hardware:
+        pe_dim, accumulator_kb, scratchpad_kb = args.fixed_hardware
+        try:
+            searcher_kwargs["hardware"] = HardwareConfig(
+                pe_dim=pe_dim, accumulator_kb=accumulator_kb, scratchpad_kb=scratchpad_kb)
+        except ValueError as error:
+            print(f"repro.cli search: error: --fixed-hardware: {error}", file=sys.stderr)
+            return 2
+
+    print(f"[repro] searching {args.network} with strategy {args.strategy!r} "
+          f"(max_samples={args.max_samples}, max_seconds={args.max_seconds}, "
+          f"seed={args.seed})")
+    outcome = optimize(args.network, strategy=args.strategy, budget=budget,
+                       seed=args.seed, callbacks=ProgressCallback(prefix="[repro]"),
+                       **searcher_kwargs)
+
+    print(f"[repro] {outcome.method} finished: best EDP {outcome.best_edp:.4e} "
+          f"after {outcome.total_samples} samples "
+          f"in {outcome.wall_time_seconds:.1f}s")
+    print(f"[repro]   hardware: {outcome.best_hardware.describe()}")
+    if args.json:
+        path = save_outcome(args.json, outcome)
+        print(f"[repro]   outcome written to {path}")
+    return 0
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    from repro.search.api import available_strategies
+    from repro.workloads.networks import NETWORK_BUILDERS
+
     parser = argparse.ArgumentParser(prog="repro.cli", description=__doc__,
                                      formatter_class=argparse.RawDescriptionHelpFormatter)
-    parser.add_argument("experiment", choices=[*sorted(_EXPERIMENTS), "all", "list"],
-                        help="which experiment to run (or 'list' / 'all')")
-    parser.add_argument("--scale", choices=["small", "paper"], default="small",
-                        help="reduced budgets (minutes) or paper budgets (hours)")
-    args = parser.parse_args(argv)
+    subparsers = parser.add_subparsers(dest="command", required=True,
+                                       metavar="{search,list,all," +
+                                               ",".join(sorted(_EXPERIMENTS)) + "}")
 
-    if args.experiment == "list":
+    # Experiment subcommands keep the original calling convention:
+    # `python -m repro.cli fig7 --scale small`.
+    for name in [*sorted(_EXPERIMENTS), "all", "list"]:
+        help_text = _DESCRIPTIONS.get(name, f"run {name}")
+        sub = subparsers.add_parser(name, help=help_text)
+        if name != "list":
+            sub.add_argument("--scale", choices=["small", "paper"], default="small",
+                             help="reduced budgets (minutes) or paper budgets (hours)")
+
+    search = subparsers.add_parser(
+        "search", help="run one co-search strategy through the unified API")
+    search.add_argument("network", choices=sorted(NETWORK_BUILDERS),
+                        help="target workload (workload registry name)")
+    search.add_argument("--strategy", choices=available_strategies(), default="dosa",
+                        help="search strategy (strategy registry name)")
+    search.add_argument("--max-samples", type=int, default=None,
+                        help="budget: max model evaluations (paper sample accounting)")
+    search.add_argument("--max-seconds", type=float, default=None,
+                        help="budget: max wall-clock seconds")
+    search.add_argument("--seed", type=int, default=0, help="search seed")
+    search.add_argument("--json", metavar="PATH", default=None,
+                        help="write the full SearchOutcome to PATH as JSON")
+    search.add_argument("--fixed-hardware", nargs=3, type=int, default=None,
+                        metavar=("PE_DIM", "ACC_KB", "SP_KB"),
+                        help="hardware for the fixed_hw_random strategy")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    if args.command == "search":
+        return _run_search(args)
+    if args.command == "list":
         for name in sorted(_EXPERIMENTS):
             print(f"{name:<6} {_DESCRIPTIONS[name]}")
         return 0
-    if args.experiment == "all":
+    if args.command == "all":
         for name in sorted(_EXPERIMENTS):
             _run_one(name, args.scale)
         return 0
-    _run_one(args.experiment, args.scale)
+    _run_one(args.command, args.scale)
     return 0
 
 

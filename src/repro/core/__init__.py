@@ -12,8 +12,8 @@ from repro.core.optimizer import (
     DosaSearcher,
     DosaSettings,
     LoopOrderingStrategy,
+    SearchOutcome,
     SearchTrace,
-    SearchResult,
 )
 
 __all__ = [
@@ -26,6 +26,6 @@ __all__ = [
     "DosaSearcher",
     "DosaSettings",
     "LoopOrderingStrategy",
+    "SearchOutcome",
     "SearchTrace",
-    "SearchResult",
 ]

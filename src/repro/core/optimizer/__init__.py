@@ -1,20 +1,23 @@
-"""The DOSA one-loop gradient-descent co-search (paper Section 5)."""
+"""The DOSA one-loop gradient-descent co-search (paper Section 5).
+
+Result containers are the unified ones from :mod:`repro.search.api`; they are
+re-exported here for convenience.
+"""
 
 from repro.core.optimizer.dosa import (
     DosaSearcher,
     DosaSettings,
     LoopOrderingStrategy,
-    SearchResult,
-    SearchTrace,
-    TracePoint,
 )
 from repro.core.optimizer.startpoints import StartPoint, generate_start_points
+from repro.search.api import CandidateDesign, SearchOutcome, SearchTrace, TracePoint
 
 __all__ = [
     "DosaSearcher",
     "DosaSettings",
     "LoopOrderingStrategy",
-    "SearchResult",
+    "CandidateDesign",
+    "SearchOutcome",
     "SearchTrace",
     "TracePoint",
     "StartPoint",

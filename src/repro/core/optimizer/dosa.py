@@ -12,20 +12,22 @@ Sample accounting follows the paper: every gradient step counts as one model
 evaluation ("evaluations done using Timeloop are considered equivalent to
 evaluations done using DOSA's differentiable model"), and each reference
 evaluation at a rounding point also counts one sample per layer mapping.
+
+The searcher implements the unified :mod:`repro.search.api` protocol: it is
+registered as strategy ``"dosa"`` and returns a :class:`SearchOutcome` whose
+``extras["start_points"]`` holds the generated GD start points.
 """
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Callable, Sequence
+from typing import Callable
 
-from repro.arch.config import DEFAULT_BOUNDS, HardwareBounds, HardwareConfig
+from repro.arch.config import HardwareBounds, HardwareConfig
 from repro.arch.gemmini import GemminiSpec
 from repro.autodiff import Adam
 from repro.core.dmodel.factors import LayerFactors
-from repro.core.dmodel.hardware import DifferentiableHardware
 from repro.core.dmodel.loss import (
     best_ordering_per_layer,
     network_edp_loss,
@@ -36,6 +38,13 @@ from repro.core.dmodel.model import DifferentiableModel
 from repro.core.optimizer.startpoints import StartPoint, generate_start_points
 from repro.mapping.constraints import minimal_hardware_for_mappings
 from repro.mapping.mapping import Mapping
+from repro.search.api import (
+    CandidateDesign,
+    SearchBudget,
+    SearchOutcome,
+    SearchSession,
+    register_searcher,
+)
 from repro.timeloop.model import NetworkPerformance, evaluate_network_mappings
 from repro.utils.rng import SeedLike, make_rng
 from repro.workloads.networks import Network
@@ -61,7 +70,9 @@ class DosaSettings:
     ordering_strategy: LoopOrderingStrategy = LoopOrderingStrategy.ITERATE
     rejection_threshold: float = 10.0
     fixed_pe_dim: int | None = None
-    bounds: HardwareBounds = field(default_factory=lambda: DEFAULT_BOUNDS)
+    # A fresh HardwareBounds per settings object (never the shared module-level
+    # DEFAULT_BOUNDS instance) so one searcher's bounds can't leak into another.
+    bounds: HardwareBounds = field(default_factory=HardwareBounds)
     seed: SeedLike = None
 
     def __post_init__(self) -> None:
@@ -74,67 +85,6 @@ class DosaSettings:
         self.ordering_strategy = LoopOrderingStrategy(self.ordering_strategy)
 
 
-@dataclass
-class TracePoint:
-    """Best reference-evaluated EDP after a given number of samples."""
-
-    samples: int
-    best_edp: float
-
-
-@dataclass
-class SearchTrace:
-    """Best-so-far curve of one search run."""
-
-    points: list[TracePoint] = field(default_factory=list)
-
-    def record(self, samples: int, best_edp: float) -> None:
-        self.points.append(TracePoint(samples=samples, best_edp=best_edp))
-
-    def best_edp_after(self, samples: int) -> float:
-        """Best EDP achieved using at most ``samples`` evaluations."""
-        best = float("inf")
-        for point in self.points:
-            if point.samples <= samples:
-                best = min(best, point.best_edp)
-        return best
-
-    @property
-    def final_best(self) -> float:
-        return min((p.best_edp for p in self.points), default=float("inf"))
-
-    @property
-    def total_samples(self) -> int:
-        return max((p.samples for p in self.points), default=0)
-
-
-@dataclass
-class CandidateDesign:
-    """A rounded, reference-evaluated co-design point."""
-
-    hardware: HardwareConfig
-    mappings: list[Mapping]
-    performance: NetworkPerformance
-
-    @property
-    def edp(self) -> float:
-        return self.performance.edp
-
-
-@dataclass
-class SearchResult:
-    """Outcome of a DOSA search over one target network."""
-
-    best: CandidateDesign
-    trace: SearchTrace
-    start_points: list[StartPoint]
-    candidates: list[CandidateDesign]
-
-    @property
-    def best_edp(self) -> float:
-        return self.best.edp
-
-
 # A latency adjuster rescales per-layer reference latencies when selecting the
 # best candidate (used by the Gemmini-RTL experiments, where latency may come
 # from a DNN-augmented model or the RTL simulator instead of the analytical
@@ -142,8 +92,11 @@ class SearchResult:
 LatencyAdjuster = Callable[[list[Mapping], HardwareConfig], list[float]]
 
 
+@register_searcher("dosa")
 class DosaSearcher:
     """Runs the DOSA one-loop search for a target network."""
+
+    settings_type = DosaSettings
 
     def __init__(
         self,
@@ -157,10 +110,15 @@ class DosaSearcher:
         self._repeats = [layer.repeats for layer in network.layers]
 
     # ------------------------------------------------------------------ #
-    def search(self) -> SearchResult:
+    def search(self, budget: SearchBudget | int | None = None,
+               callbacks=None) -> SearchOutcome:
         """Run the full search and return the best reference-scored design."""
         settings = self.settings
         rng = make_rng(settings.seed)
+        # The session is created first so start-point generation counts
+        # against the wall-time budget and the reported wall_time_seconds.
+        session = SearchSession("dosa", budget=budget, callbacks=callbacks,
+                                settings=settings, network=self.network)
         start_points = generate_start_points(
             self.network,
             count=settings.num_start_points,
@@ -168,56 +126,42 @@ class DosaSearcher:
             rejection_threshold=settings.rejection_threshold,
             fixed_pe_dim=settings.fixed_pe_dim,
         )
-
-        trace = SearchTrace()
-        candidates: list[CandidateDesign] = []
-        best: CandidateDesign | None = None
-        samples = 0
-
         for start_point in start_points:
-            best_for_start, samples = self._descend_from(
-                start_point, trace, candidates, samples
-            )
-            if best_for_start is not None and (best is None or best_for_start.edp < best.edp):
-                best = best_for_start
-
-        if best is None:  # pragma: no cover - defensive; rounding always yields a candidate
-            raise RuntimeError("search produced no valid candidate design")
-        return SearchResult(best=best, trace=trace, start_points=start_points,
-                            candidates=candidates)
+            if session.exhausted():
+                break
+            self._descend_from(start_point, session)
+        return session.finish(extras={"start_points": start_points})
 
     # ------------------------------------------------------------------ #
-    def _descend_from(
-        self,
-        start_point: StartPoint,
-        trace: SearchTrace,
-        candidates: list[CandidateDesign],
-        samples: int,
-    ) -> tuple[CandidateDesign | None, int]:
+    def _descend_from(self, start_point: StartPoint, session: SearchSession) -> None:
         settings = self.settings
         factors = [LayerFactors.from_mapping(m) for m in start_point.mappings]
         parameters = [p for f in factors for p in f.parameters()]
         optimizer = Adam(parameters, lr=settings.learning_rate)
-        best: CandidateDesign | None = None
+        evaluated_once = False
 
         for step in range(settings.gd_steps):
             optimizer.zero_grad()
             loss = self._loss(factors)
             loss.backward()
             optimizer.step()
-            samples += 1
+            session.spend(1)
 
+            out_of_budget = session.exhausted()
             at_rounding_point = ((step + 1) % settings.rounding_period == 0
-                                 or step == settings.gd_steps - 1)
+                                 or step == settings.gd_steps - 1
+                                 or out_of_budget)
             if not at_rounding_point:
                 continue
 
-            candidate, samples = self._round_and_evaluate(factors, samples)
-            candidates.append(candidate)
-            if best is None or candidate.edp < best.edp:
-                best = candidate
-            trace.record(samples, min(best.edp, trace.final_best))
-        return best, samples
+            session.offer(self._round_and_evaluate(factors, session))
+            evaluated_once = True
+            # Re-check after the rounding evaluation: the reference samples it
+            # spent may themselves have crossed the budget.
+            if out_of_budget or session.exhausted():
+                return
+        if not evaluated_once:  # pragma: no cover - defensive; loop always rounds
+            session.offer(self._round_and_evaluate(factors, session))
 
     # ------------------------------------------------------------------ #
     def _loss(self, factors: list[LayerFactors]):
@@ -232,8 +176,8 @@ class DosaSearcher:
 
     # ------------------------------------------------------------------ #
     def _round_and_evaluate(
-        self, factors: list[LayerFactors], samples: int
-    ) -> tuple[CandidateDesign, int]:
+        self, factors: list[LayerFactors], session: SearchSession
+    ) -> CandidateDesign:
         settings = self.settings
         max_spatial = settings.fixed_pe_dim or settings.bounds.max_pe_dim
         rounded = [f.rounded_mapping(max_spatial=max_spatial) for f in factors]
@@ -254,14 +198,14 @@ class DosaSearcher:
             )
         performance = evaluate_network_mappings(rounded, GemminiSpec(hardware))
         performance = self._adjust_performance(rounded, hardware, performance)
-        samples += len(rounded)
+        session.spend(len(rounded))
 
         # Continue the descent from the snapped point.
         for layer_factors, mapping in zip(factors, rounded):
             layer_factors.load_mapping(mapping)
 
         return CandidateDesign(hardware=hardware, mappings=rounded,
-                               performance=performance), samples
+                               performance=performance)
 
     # ------------------------------------------------------------------ #
     def _adjust_performance(

@@ -1,4 +1,9 @@
-"""Shared helpers for the experiment harnesses."""
+"""Shared helpers for the experiment harnesses.
+
+Search-based harnesses (Figures 7-9) go through :func:`run_search`, which
+resolves strategies via the unified registry so harness code never touches
+strategy-specific searcher or result classes.
+"""
 
 from __future__ import annotations
 
@@ -6,9 +11,40 @@ import csv
 import os
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Sequence
+from typing import Any, Sequence
 
+from repro.search.api import SearchBudget, SearchOutcome, optimize
 from repro.utils.formatting import format_table
+
+#: The three co-search strategies compared in Figures 7-9.
+COSEARCH_STRATEGIES: tuple[str, ...] = ("dosa", "random", "bayesian")
+
+
+def run_search(
+    workload: str,
+    strategy: str,
+    settings: Any = None,
+    budget: SearchBudget | int | None = None,
+    **searcher_kwargs,
+) -> SearchOutcome:
+    """Run one registered strategy on a named workload (unified outcome)."""
+    return optimize(workload, strategy=strategy, settings=settings,
+                    budget=budget, **searcher_kwargs)
+
+
+def run_strategies(
+    workload: str,
+    strategy_settings: dict[str, Any],
+    budget: SearchBudget | int | None = None,
+) -> dict[str, SearchOutcome]:
+    """Run several strategies on one workload with a shared budget.
+
+    ``strategy_settings`` maps registry names to settings objects (or ``None``
+    for each strategy's defaults); the same :class:`SearchBudget` applies to
+    every strategy so their traces are directly comparable.
+    """
+    return {strategy: run_search(workload, strategy, settings=settings, budget=budget)
+            for strategy, settings in strategy_settings.items()}
 
 
 def default_output_dir() -> Path:

@@ -1,35 +1,67 @@
 """Figure 7 + Section 6.3: DOSA vs random search vs Bayesian optimization.
 
-For each target workload the three searchers run with a comparable sample
-budget and the best-EDP-so-far traces are recorded.  The paper reports a
-geometric-mean improvement of 2.80x over random search and 12.59x over BB-BO
-after roughly 10,000 samples, with BB-BO leading below ~1000 samples.
+For each target workload the three co-search strategies run through the
+unified search registry with a comparable sample budget, and the unified
+best-EDP-so-far traces are recorded.  The paper reports a geometric-mean
+improvement of 2.80x over random search and 12.59x over BB-BO after roughly
+10,000 samples, with BB-BO leading below ~1000 samples.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.optimizer import DosaSearcher, DosaSettings
-from repro.experiments.common import ExperimentOutput
-from repro.search.bayesian import BayesianSearcher, BayesianSettings
-from repro.search.random_search import RandomSearcher, RandomSearchSettings
+from repro.core.optimizer import DosaSettings
+from repro.experiments.common import (
+    COSEARCH_STRATEGIES,
+    ExperimentOutput,
+    run_strategies,
+)
+from repro.search.api import SearchBudget, SearchOutcome
+from repro.search.bayesian import BayesianSettings
+from repro.search.random_search import RandomSearchSettings
 from repro.utils.math_utils import geometric_mean
 from repro.utils.rng import SeedLike
-from repro.workloads.networks import TARGET_WORKLOAD_NAMES, get_network
+from repro.workloads.networks import TARGET_WORKLOAD_NAMES
 
 
 @dataclass
 class CoSearchResult:
-    """Best EDP and trace per method for one workload."""
+    """Unified outcome per strategy for one workload."""
 
     workload: str
-    dosa_edp: float
-    random_edp: float
-    bayesian_edp: float
-    dosa_trace: list[tuple[int, float]]
-    random_trace: list[tuple[int, float]]
-    bayesian_trace: list[tuple[int, float]]
+    outcomes: dict[str, SearchOutcome]
+
+    def edp(self, strategy: str) -> float:
+        return self.outcomes[strategy].best_edp
+
+    def trace(self, strategy: str) -> list[tuple[int, float]]:
+        return self.outcomes[strategy].trace.as_pairs()
+
+    # Convenience accessors used by the benchmark suite.
+    @property
+    def dosa_edp(self) -> float:
+        return self.edp("dosa")
+
+    @property
+    def random_edp(self) -> float:
+        return self.edp("random")
+
+    @property
+    def bayesian_edp(self) -> float:
+        return self.edp("bayesian")
+
+    @property
+    def dosa_trace(self) -> list[tuple[int, float]]:
+        return self.trace("dosa")
+
+    @property
+    def random_trace(self) -> list[tuple[int, float]]:
+        return self.trace("random")
+
+    @property
+    def bayesian_trace(self) -> list[tuple[int, float]]:
+        return self.trace("bayesian")
 
     @property
     def dosa_vs_random(self) -> float:
@@ -42,23 +74,13 @@ class CoSearchResult:
 
 def run_workload(
     workload: str,
-    dosa_settings: DosaSettings,
-    random_settings: RandomSearchSettings,
-    bayesian_settings: BayesianSettings,
+    strategy_settings: dict[str, object],
+    budget: SearchBudget | int | None = None,
 ) -> CoSearchResult:
-    """Run the three searchers on one workload and collect traces."""
-    network = get_network(workload)
-    dosa = DosaSearcher(network, dosa_settings).search()
-    random_result = RandomSearcher(network, random_settings).search()
-    bayesian_result = BayesianSearcher(network, bayesian_settings).search()
+    """Run the configured strategies on one workload and collect traces."""
     return CoSearchResult(
         workload=workload,
-        dosa_edp=dosa.best_edp,
-        random_edp=random_result.best_edp,
-        bayesian_edp=bayesian_result.best_edp,
-        dosa_trace=[(p.samples, p.best_edp) for p in dosa.trace.points],
-        random_trace=list(zip(random_result.trace.samples, random_result.trace.best_edp)),
-        bayesian_trace=list(zip(bayesian_result.trace.samples, bayesian_result.trace.best_edp)),
+        outcomes=run_strategies(workload, strategy_settings, budget=budget),
     )
 
 
@@ -72,22 +94,23 @@ def run(
     bo_training_hardware: int = 100,
     bo_mappings_per_layer: int = 100,
     bo_candidates: int = 1000,
+    budget: SearchBudget | int | None = None,
     seed: SeedLike = 0,
 ) -> list[CoSearchResult]:
-    """Paper-scale defaults; pass smaller values for quick runs."""
-    results = []
-    for workload in workloads:
-        results.append(run_workload(
-            workload,
-            DosaSettings(num_start_points=num_start_points, gd_steps=gd_steps,
-                         rounding_period=rounding_period, seed=seed),
-            RandomSearchSettings(num_hardware_designs=random_hardware_designs,
-                                 mappings_per_layer=random_mappings_per_layer, seed=seed),
-            BayesianSettings(num_training_hardware=bo_training_hardware,
-                             mappings_per_layer=bo_mappings_per_layer,
-                             num_candidates=bo_candidates, seed=seed),
-        ))
-    return results
+    """Paper-scale defaults; pass smaller values (or a budget) for quick runs."""
+    strategy_settings = {
+        "dosa": DosaSettings(num_start_points=num_start_points, gd_steps=gd_steps,
+                             rounding_period=rounding_period, seed=seed),
+        "random": RandomSearchSettings(num_hardware_designs=random_hardware_designs,
+                                       mappings_per_layer=random_mappings_per_layer,
+                                       seed=seed),
+        "bayesian": BayesianSettings(num_training_hardware=bo_training_hardware,
+                                     mappings_per_layer=bo_mappings_per_layer,
+                                     num_candidates=bo_candidates, seed=seed),
+    }
+    assert tuple(strategy_settings) == COSEARCH_STRATEGIES
+    return [run_workload(workload, strategy_settings, budget=budget)
+            for workload in workloads]
 
 
 def summarize(results: list[CoSearchResult]) -> dict[str, float]:

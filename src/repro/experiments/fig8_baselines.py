@@ -2,18 +2,20 @@
 
 Each baseline accelerator (Eyeriss, NVDLA Small, NVDLA Large, Gemmini default)
 keeps its fixed hardware and receives the best of N random mappings per layer
-(the paper uses Timeloop's random-pruned mapper with 10,000 mappings).  The
-DOSA column is the EDP of the hardware + mappings found by the co-search.
+(the paper uses Timeloop's random-pruned mapper with 10,000 mappings), run
+through the ``"fixed_hw_random"`` strategy of the unified search registry.
+The DOSA column is the EDP of the hardware + mappings found by the ``"dosa"``
+strategy on the same API.
 """
 
 from __future__ import annotations
 
 from repro.arch.baselines import baseline_accelerators
-from repro.core.optimizer import DosaSearcher, DosaSettings
-from repro.experiments.common import ExperimentOutput
-from repro.search.random_mapper_search import best_random_mappings_for_hardware
+from repro.core.optimizer import DosaSettings
+from repro.experiments.common import ExperimentOutput, run_search
+from repro.search.random_mapper_search import FixedHardwareSettings
 from repro.utils.rng import SeedLike
-from repro.workloads.networks import TARGET_WORKLOAD_NAMES, get_network
+from repro.workloads.networks import TARGET_WORKLOAD_NAMES
 
 
 def run(
@@ -27,15 +29,18 @@ def run(
     """EDP per workload per accelerator, with DOSA-optimized Gemmini last."""
     results: dict[str, dict[str, float]] = {}
     for workload in workloads:
-        network = get_network(workload)
         per_accelerator: dict[str, float] = {}
         for baseline in baseline_accelerators():
-            _, performance = best_random_mappings_for_hardware(
-                network, baseline.config, mappings_per_layer=mappings_per_layer, seed=seed)
-            per_accelerator[baseline.name] = performance.edp
-        dosa_settings = DosaSettings(num_start_points=num_start_points, gd_steps=gd_steps,
-                                     rounding_period=rounding_period, seed=seed)
-        dosa = DosaSearcher(network, dosa_settings).search()
+            outcome = run_search(
+                workload, "fixed_hw_random",
+                settings=FixedHardwareSettings(mappings_per_layer=mappings_per_layer,
+                                               seed=seed),
+                hardware=baseline.config)
+            per_accelerator[baseline.name] = outcome.best_edp
+        dosa = run_search(
+            workload, "dosa",
+            settings=DosaSettings(num_start_points=num_start_points, gd_steps=gd_steps,
+                                  rounding_period=rounding_period, seed=seed))
         per_accelerator["Gemmini DOSA"] = dosa.best_edp
         results[workload] = per_accelerator
     return results

@@ -7,6 +7,10 @@ For each workload and each of several GD runs the experiment compares:
 * DOSA hardware with best-of-N random mappings,
 * DOSA hardware with DOSA mappings (the full result).
 
+All searches go through the unified registry: the GD run is the ``"dosa"``
+strategy and the random-mapper column is the ``"fixed_hw_random"`` strategy
+pinned to the DOSA hardware.
+
 The paper reports (geomean over 4 workloads x 10 runs): 5.75x end-over-start,
 3.21x from hardware alone under the constant mapper, DOSA mappings 1.79x
 better than CoSA and 2.78x better than a 1000-sample random mapper on the
@@ -18,10 +22,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.arch.gemmini import GemminiSpec
-from repro.core.optimizer import DosaSearcher, DosaSettings
-from repro.experiments.common import ExperimentOutput
+from repro.core.optimizer import DosaSettings
+from repro.experiments.common import ExperimentOutput, run_search
 from repro.mapping.cosa import cosa_mapping
-from repro.search.random_mapper_search import best_random_mappings_for_hardware
+from repro.search.random_mapper_search import FixedHardwareSettings
 from repro.timeloop.model import evaluate_network_mappings
 from repro.utils.math_utils import geometric_mean
 from repro.utils.rng import SeedLike
@@ -43,26 +47,27 @@ def run_single(workload: str, settings: DosaSettings,
                random_mappings_per_layer: int = 1000) -> SeparationResult:
     """One GD run on ``workload`` with all four evaluation combinations."""
     network = get_network(workload)
-    searcher = DosaSearcher(network, settings)
-    result = searcher.search()
+    outcome = run_search(workload, "dosa", settings=settings)
 
-    start = result.start_points[0]
+    start = outcome.extras["start_points"][0]
     start_performance = evaluate_network_mappings(start.mappings, GemminiSpec(start.hardware))
 
-    dosa_hardware = result.best.hardware
+    dosa_hardware = outcome.best_hardware
     cosa_on_dosa_hw = [cosa_mapping(layer, dosa_hardware) for layer in network.layers]
     cosa_performance = evaluate_network_mappings(cosa_on_dosa_hw, GemminiSpec(dosa_hardware))
 
-    _, random_performance = best_random_mappings_for_hardware(
-        network, dosa_hardware, mappings_per_layer=random_mappings_per_layer,
-        seed=settings.seed)
+    random_outcome = run_search(
+        workload, "fixed_hw_random",
+        settings=FixedHardwareSettings(mappings_per_layer=random_mappings_per_layer,
+                                       seed=settings.seed),
+        hardware=dosa_hardware)
 
     return SeparationResult(
         workload=workload,
         start_edp=start_performance.edp,
         dosa_hw_cosa_mapping_edp=cosa_performance.edp,
-        dosa_hw_random_mapping_edp=random_performance.edp,
-        dosa_edp=result.best_edp,
+        dosa_hw_random_mapping_edp=random_outcome.best_edp,
+        dosa_edp=outcome.best_edp,
     )
 
 
@@ -85,7 +90,7 @@ def run(
                 seed=(seed, run_index).__hash__() & 0xFFFFFFFF,
             )
             results.append(run_single(workload, settings,
-                                       random_mappings_per_layer=random_mappings_per_layer))
+                                      random_mappings_per_layer=random_mappings_per_layer))
     return results
 
 

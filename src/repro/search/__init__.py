@@ -1,25 +1,69 @@
-"""Black-box search baselines compared against DOSA (paper Section 6.3).
+"""Search strategies behind one API (paper Sections 5 and 6.3).
 
-* random two-loop search: random hardware designs, each explored with many
-  random mappings per layer,
-* Bayesian-optimization two-loop search: a Gaussian-process surrogate over
-  hardware/mapping features with expected-improvement acquisition
-  (hyperparameters follow the Spotlight-style setup described in Section 6.1),
-* a random-pruned mapping search for a *fixed* hardware design, used to give
-  the expert baseline accelerators of Figure 8 well-tuned mappings.
+All strategies implement the :class:`repro.search.api.Searcher` protocol
+(``search(budget, callbacks) -> SearchOutcome``) and are reachable through the
+strategy registry:
+
+* ``"dosa"`` — the differentiable one-loop search (:mod:`repro.core.optimizer`),
+* ``"random"`` — random two-loop search: random hardware designs, each explored
+  with many random mappings per layer,
+* ``"bayesian"`` — Bayesian-optimization two-loop search: a Gaussian-process
+  surrogate over hardware/mapping features (hyperparameters follow the
+  Spotlight-style setup described in Section 6.1),
+* ``"fixed_hw_random"`` — a random-pruned mapping search for a *fixed* hardware
+  design, used to give the expert baseline accelerators of Figure 8 well-tuned
+  mappings.
+
+Use :func:`repro.optimize` (or :func:`repro.search.api.optimize`) as the
+single entry point.
 """
 
-from repro.search.results import BestSoFarTrace, SearchOutcome
+from repro.search.api import (
+    CandidateDesign,
+    ProgressCallback,
+    SearchBudget,
+    SearchCallback,
+    Searcher,
+    SearchOutcome,
+    SearchSession,
+    SearchTrace,
+    TracePoint,
+    available_strategies,
+    create_searcher,
+    get_searcher,
+    optimize,
+    register_searcher,
+)
+from repro.search.results import BestSoFarTrace
 from repro.search.random_search import RandomSearcher, RandomSearchSettings
-from repro.search.random_mapper_search import best_random_mappings_for_hardware
+from repro.search.random_mapper_search import (
+    FixedHardwareMapperSearcher,
+    FixedHardwareSettings,
+    best_random_mappings_for_hardware,
+)
 from repro.search.gp import GaussianProcessRegressor, expected_improvement
 from repro.search.bayesian import BayesianSearcher, BayesianSettings
 
 __all__ = [
     "BestSoFarTrace",
+    "CandidateDesign",
+    "ProgressCallback",
+    "SearchBudget",
+    "SearchCallback",
+    "Searcher",
     "SearchOutcome",
+    "SearchSession",
+    "SearchTrace",
+    "TracePoint",
+    "available_strategies",
+    "create_searcher",
+    "get_searcher",
+    "optimize",
+    "register_searcher",
     "RandomSearcher",
     "RandomSearchSettings",
+    "FixedHardwareMapperSearcher",
+    "FixedHardwareSettings",
     "best_random_mappings_for_hardware",
     "GaussianProcessRegressor",
     "expected_improvement",

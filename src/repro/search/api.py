@@ -1,0 +1,492 @@
+"""The unified search API: one protocol, one outcome type, one entry point.
+
+Every co-search strategy in the reproduction — the DOSA one-loop gradient
+search, the random and Bayesian two-loop baselines, and the fixed-hardware
+random mapper — implements the same :class:`Searcher` protocol::
+
+    searcher.search(budget=None, callbacks=None) -> SearchOutcome
+
+and is registered under a short strategy name, so experiment harnesses can
+iterate ``for strategy in ("dosa", "random", "bayesian")`` instead of
+hand-wiring per-method glue.  The pieces:
+
+* :class:`SearchBudget` — a uniform sample/wall-time cap.  Samples follow the
+  paper's accounting (every reference-model *and* differentiable-model
+  evaluation counts one sample), so best-so-far traces from different
+  strategies are directly comparable, as in Figures 7-9.
+* :class:`SearchTrace` — the single best-so-far curve implementation, keyed
+  by reference-model sample count and monotone by construction.
+* :class:`CandidateDesign` / :class:`SearchOutcome` — a reference-evaluated
+  co-design point, and the common result container (method name, best design,
+  all candidates, trace, wall time, seed, settings snapshot).
+* :class:`SearchCallback` — progress hooks (``on_step`` / ``on_candidate`` /
+  ``on_best``) replacing ad-hoc prints.
+* :class:`SearchSession` — shared bookkeeping (sample counter, best-so-far,
+  budget enforcement, callback dispatch) used by all searcher implementations.
+* :func:`register_searcher` / :func:`get_searcher` /
+  :func:`available_strategies` — the strategy registry.
+* :func:`optimize` — the one-call facade, also exported as
+  ``repro.optimize``::
+
+      outcome = repro.optimize("bert", strategy="dosa", budget=5000, seed=0)
+"""
+
+from __future__ import annotations
+
+import numbers
+import time
+from dataclasses import dataclass, field, fields, is_dataclass
+from enum import Enum
+from typing import Any, Callable, Protocol, Sequence, runtime_checkable
+
+from repro.arch.config import HardwareConfig
+from repro.mapping.mapping import Mapping
+from repro.timeloop.model import NetworkPerformance
+from repro.utils.rng import SeedLike
+from repro.workloads.networks import Network, get_network
+
+
+# --------------------------------------------------------------------------- #
+# Budget
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class SearchBudget:
+    """Uniform resource cap for a search run.
+
+    ``max_samples`` caps the number of model evaluations (paper sample
+    accounting); ``max_seconds`` caps wall-clock time.  Either may be ``None``
+    for "unlimited"; with both ``None`` the searcher's own settings decide
+    when to stop.  Budgets are enforced at sample granularity: an in-flight
+    reference evaluation (one sample per unique layer) is allowed to finish,
+    so a run may overshoot ``max_samples`` by at most the layer count.
+    """
+
+    max_samples: int | None = None
+    max_seconds: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_samples is not None and self.max_samples < 1:
+            raise ValueError("max_samples must be at least 1 (or None)")
+        if self.max_seconds is not None and self.max_seconds < 0:
+            raise ValueError("max_seconds must be non-negative (or None)")
+
+    @property
+    def unlimited(self) -> bool:
+        return self.max_samples is None and self.max_seconds is None
+
+    def exhausted(self, samples: int, elapsed_seconds: float) -> bool:
+        """Whether a run at ``samples`` evaluations / ``elapsed_seconds`` is done."""
+        if self.max_samples is not None and samples >= self.max_samples:
+            return True
+        if self.max_seconds is not None and elapsed_seconds >= self.max_seconds:
+            return True
+        return False
+
+    @staticmethod
+    def coerce(budget: "SearchBudget | int | None") -> "SearchBudget":
+        """Accept ``None`` (unlimited), an int (max samples), or a budget."""
+        if budget is None:
+            return SearchBudget()
+        if isinstance(budget, SearchBudget):
+            return budget
+        if isinstance(budget, numbers.Integral):
+            return SearchBudget(max_samples=int(budget))
+        raise TypeError(f"budget must be SearchBudget, int or None, got {budget!r}")
+
+
+# --------------------------------------------------------------------------- #
+# Trace and result containers
+# --------------------------------------------------------------------------- #
+@dataclass
+class TracePoint:
+    """Best reference-evaluated EDP after a given number of samples."""
+
+    samples: int
+    best_edp: float
+
+
+@dataclass
+class SearchTrace:
+    """Best-EDP-so-far as a function of the number of model evaluations.
+
+    The single best-so-far implementation shared by every strategy: recording
+    clamps each point to the running minimum, so the curve is monotone
+    non-increasing by construction.
+    """
+
+    points: list[TracePoint] = field(default_factory=list)
+
+    def record(self, samples: int, edp: float) -> None:
+        best = min(edp, self.points[-1].best_edp) if self.points else edp
+        self.points.append(TracePoint(samples=samples, best_edp=best))
+
+    def best_edp_after(self, samples: int) -> float:
+        """Best EDP achieved using at most ``samples`` evaluations."""
+        best = float("inf")
+        for point in self.points:
+            if point.samples <= samples:
+                best = min(best, point.best_edp)
+        return best
+
+    # Name used by the pre-unification BestSoFarTrace container.
+    best_after = best_edp_after
+
+    @property
+    def final_best(self) -> float:
+        return self.points[-1].best_edp if self.points else float("inf")
+
+    @property
+    def total_samples(self) -> int:
+        return max((p.samples for p in self.points), default=0)
+
+    def as_pairs(self) -> list[tuple[int, float]]:
+        """The curve as ``(samples, best_edp)`` pairs, e.g. for CSV output."""
+        return [(p.samples, p.best_edp) for p in self.points]
+
+    def to_dict(self) -> dict[str, list]:
+        return {"samples": [p.samples for p in self.points],
+                "best_edp": [p.best_edp for p in self.points]}
+
+    @staticmethod
+    def from_dict(payload: dict[str, list]) -> "SearchTrace":
+        return SearchTrace(points=[
+            TracePoint(samples=int(s), best_edp=float(e))
+            for s, e in zip(payload["samples"], payload["best_edp"])
+        ])
+
+
+@dataclass
+class CandidateDesign:
+    """A rounded, reference-evaluated co-design point."""
+
+    hardware: HardwareConfig
+    mappings: list[Mapping]
+    performance: NetworkPerformance
+
+    @property
+    def edp(self) -> float:
+        return self.performance.edp
+
+
+@dataclass
+class SearchOutcome:
+    """The common result of every search strategy.
+
+    ``settings`` is a JSON-safe snapshot of the searcher's hyperparameters;
+    ``extras`` carries strategy-specific artifacts (e.g. DOSA's start points)
+    and is *not* serialized.
+    """
+
+    method: str
+    best: CandidateDesign
+    trace: SearchTrace
+    candidates: list[CandidateDesign] = field(default_factory=list)
+    wall_time_seconds: float = 0.0
+    seed: Any = None
+    settings: dict[str, Any] = field(default_factory=dict)
+    network: str = ""
+    extras: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def best_edp(self) -> float:
+        return self.best.edp
+
+    @property
+    def best_hardware(self) -> HardwareConfig:
+        return self.best.hardware
+
+    @property
+    def best_mappings(self) -> list[Mapping]:
+        return self.best.mappings
+
+    @property
+    def total_samples(self) -> int:
+        return self.trace.total_samples
+
+
+# --------------------------------------------------------------------------- #
+# Callbacks
+# --------------------------------------------------------------------------- #
+class SearchCallback:
+    """Progress hooks invoked by every searcher; subclass and override.
+
+    Invocation contract, shared across strategies:
+
+    * ``on_step(samples)`` — the sample counter advanced (granularity is
+      strategy-defined: one gradient step for DOSA, one reference evaluation
+      batch for the black-box searchers).
+    * ``on_candidate(candidate, samples)`` — a complete design was
+      reference-evaluated.
+    * ``on_best(candidate, samples)`` — that candidate improved on the best
+      design seen so far; always fires *after* the matching ``on_candidate``.
+    """
+
+    def on_step(self, samples: int) -> None:  # pragma: no cover - default no-op
+        pass
+
+    def on_candidate(self, candidate: CandidateDesign, samples: int) -> None:
+        pass
+
+    def on_best(self, candidate: CandidateDesign, samples: int) -> None:
+        pass
+
+
+class ProgressCallback(SearchCallback):
+    """Prints a line whenever the best design improves (CLI/example progress)."""
+
+    def __init__(self, prefix: str = "[search]",
+                 printer: Callable[[str], None] = print) -> None:
+        self.prefix = prefix
+        self.printer = printer
+
+    def on_best(self, candidate: CandidateDesign, samples: int) -> None:
+        self.printer(f"{self.prefix} new best EDP {candidate.edp:.4e} "
+                     f"after {samples} samples "
+                     f"({candidate.hardware.describe()})")
+
+
+class _CallbackList(SearchCallback):
+    """Fans one callback stream out to many registered callbacks."""
+
+    def __init__(self, callbacks: Sequence[SearchCallback]) -> None:
+        self.callbacks = list(callbacks)
+
+    def on_step(self, samples: int) -> None:
+        for callback in self.callbacks:
+            callback.on_step(samples)
+
+    def on_candidate(self, candidate: CandidateDesign, samples: int) -> None:
+        for callback in self.callbacks:
+            callback.on_candidate(candidate, samples)
+
+    def on_best(self, candidate: CandidateDesign, samples: int) -> None:
+        for callback in self.callbacks:
+            callback.on_best(candidate, samples)
+
+
+def as_callback(callbacks) -> SearchCallback:
+    """Normalize ``None`` / a single callback / a sequence to one dispatcher."""
+    if callbacks is None:
+        return SearchCallback()
+    if isinstance(callbacks, SearchCallback):
+        return callbacks
+    return _CallbackList(list(callbacks))
+
+
+# --------------------------------------------------------------------------- #
+# Settings snapshot
+# --------------------------------------------------------------------------- #
+def _json_safe(value: Any) -> Any:
+    if value is None or isinstance(value, (bool, str)):
+        return value
+    if isinstance(value, Enum):
+        return value.value
+    if isinstance(value, numbers.Integral):
+        return int(value)
+    if isinstance(value, numbers.Real):
+        return float(value)
+    if is_dataclass(value) and not isinstance(value, type):
+        return {f.name: _json_safe(getattr(value, f.name)) for f in fields(value)}
+    if isinstance(value, dict):
+        return {str(key): _json_safe(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple, set)):
+        return [_json_safe(item) for item in value]
+    return repr(value)
+
+
+def settings_snapshot(settings: Any) -> dict[str, Any]:
+    """A JSON-safe dict view of a settings dataclass (for outcome provenance)."""
+    if settings is None:
+        return {}
+    snapshot = _json_safe(settings)
+    return snapshot if isinstance(snapshot, dict) else {"settings": snapshot}
+
+
+# --------------------------------------------------------------------------- #
+# Searcher protocol and the shared session bookkeeping
+# --------------------------------------------------------------------------- #
+@runtime_checkable
+class Searcher(Protocol):
+    """What every registered strategy implements."""
+
+    def search(self, budget: SearchBudget | int | None = None,
+               callbacks=None) -> SearchOutcome:
+        ...
+
+
+class SearchSession:
+    """Per-run bookkeeping shared by all searcher implementations.
+
+    Owns the sample counter, the best-so-far candidate, the unified trace,
+    budget enforcement and callback dispatch, so each strategy only decides
+    *what* to evaluate, never how to account for it.
+    """
+
+    def __init__(
+        self,
+        method: str,
+        budget: SearchBudget | int | None = None,
+        callbacks=None,
+        settings: Any = None,
+        network: Network | str | None = None,
+    ) -> None:
+        self.method = method
+        self.budget = SearchBudget.coerce(budget)
+        self.callbacks = as_callback(callbacks)
+        self.settings = settings
+        self.network_name = network.name if isinstance(network, Network) else (network or "")
+        self.trace = SearchTrace()
+        self.candidates: list[CandidateDesign] = []
+        self.best: CandidateDesign | None = None
+        self.samples = 0
+        self._started = time.monotonic()
+
+    # -- accounting ----------------------------------------------------- #
+    @property
+    def elapsed_seconds(self) -> float:
+        return time.monotonic() - self._started
+
+    def spend(self, count: int = 1) -> int:
+        """Advance the sample counter and fire ``on_step``."""
+        self.samples += count
+        self.callbacks.on_step(self.samples)
+        return self.samples
+
+    def exhausted(self) -> bool:
+        """Whether the budget is spent (samples or wall time)."""
+        return self.budget.exhausted(self.samples, self.elapsed_seconds)
+
+    # -- candidates ----------------------------------------------------- #
+    def offer(self, candidate: CandidateDesign) -> bool:
+        """Record a reference-evaluated candidate; returns True if it is a new best."""
+        self.candidates.append(candidate)
+        self.callbacks.on_candidate(candidate, self.samples)
+        improved = self.best is None or candidate.edp < self.best.edp
+        if improved:
+            self.best = candidate
+            self.callbacks.on_best(candidate, self.samples)
+        self.trace.record(self.samples, candidate.edp)
+        return improved
+
+    def checkpoint(self) -> None:
+        """Extend the trace at the current sample count (e.g. after an
+        infeasible round that evaluated mappings but produced no candidate)."""
+        if self.best is not None:
+            self.trace.record(self.samples, self.best.edp)
+
+    # -- completion ------------------------------------------------------ #
+    def finish(self, extras: dict[str, Any] | None = None) -> SearchOutcome:
+        if self.best is None:
+            raise RuntimeError(
+                f"{self.method} search produced no feasible design; "
+                "increase the budget or the searcher's settings")
+        seed = getattr(self.settings, "seed", None)
+        return SearchOutcome(
+            method=self.method,
+            best=self.best,
+            trace=self.trace,
+            candidates=self.candidates,
+            wall_time_seconds=self.elapsed_seconds,
+            seed=_json_safe(seed),
+            settings=settings_snapshot(self.settings),
+            network=self.network_name,
+            extras=extras or {},
+        )
+
+
+# --------------------------------------------------------------------------- #
+# Strategy registry
+# --------------------------------------------------------------------------- #
+_SEARCHERS: dict[str, type] = {}
+_BUILTINS_LOADED = False
+
+
+def register_searcher(name: str) -> Callable[[type], type]:
+    """Class decorator registering a searcher under ``name``.
+
+    The class must implement the :class:`Searcher` protocol and take the
+    target :class:`Network` as its first constructor argument (plus an
+    optional ``settings`` object; see ``settings_type``).
+    """
+
+    def decorator(cls: type) -> type:
+        _SEARCHERS[name] = cls
+        cls.strategy_name = name
+        return cls
+
+    return decorator
+
+
+def _ensure_builtin_strategies() -> None:
+    """Import the built-in strategy modules so their registrations run."""
+    global _BUILTINS_LOADED
+    if _BUILTINS_LOADED:
+        return
+    import repro.core.optimizer.dosa  # noqa: F401  (registers "dosa")
+    import repro.search.bayesian  # noqa: F401  (registers "bayesian")
+    import repro.search.random_mapper_search  # noqa: F401  ("fixed_hw_random")
+    import repro.search.random_search  # noqa: F401  (registers "random")
+    # Only mark loaded once every import succeeded, so a transient failure
+    # (e.g. a broken optional dependency) surfaces again on the next call
+    # instead of leaving the registry silently half-populated.
+    _BUILTINS_LOADED = True
+
+
+def get_searcher(name: str) -> type:
+    """Look up a registered searcher class by strategy name."""
+    _ensure_builtin_strategies()
+    if name not in _SEARCHERS:
+        raise KeyError(f"unknown search strategy {name!r}; "
+                       f"options: {sorted(_SEARCHERS)}")
+    return _SEARCHERS[name]
+
+
+def available_strategies() -> tuple[str, ...]:
+    """Names of all registered search strategies, sorted."""
+    _ensure_builtin_strategies()
+    return tuple(sorted(_SEARCHERS))
+
+
+def create_searcher(strategy: str, network: Network, settings: Any = None,
+                    **kwargs) -> Searcher:
+    """Instantiate a registered searcher for ``network``."""
+    cls = get_searcher(strategy)
+    return cls(network, settings=settings, **kwargs)
+
+
+# --------------------------------------------------------------------------- #
+# The facade
+# --------------------------------------------------------------------------- #
+def optimize(
+    network: Network | str,
+    strategy: str = "dosa",
+    budget: SearchBudget | int | None = None,
+    settings: Any = None,
+    callbacks=None,
+    seed: SeedLike | None = None,
+    **searcher_kwargs,
+) -> SearchOutcome:
+    """Run one co-search strategy on a network and return its outcome.
+
+    ``network`` may be a :class:`Network` or a registry name (``"bert"``,
+    ``"resnet50"``, ...).  ``budget`` may be a :class:`SearchBudget` or an
+    int (max samples).  ``settings`` overrides the strategy's default
+    hyperparameters; when omitted, ``seed`` seeds the defaults.  Extra
+    keyword arguments go to the searcher constructor (e.g. ``hardware=`` for
+    the ``fixed_hw_random`` strategy).
+    """
+    if isinstance(network, str):
+        network = get_network(network)
+    cls = get_searcher(strategy)
+    if seed is not None:
+        if settings is not None:
+            raise TypeError("pass either settings= or seed=, not both: the seed "
+                            "lives inside the settings object, so a separate "
+                            "seed= would be silently ignored")
+        settings_type = getattr(cls, "settings_type", None)
+        if settings_type is None:
+            raise TypeError(f"strategy {strategy!r} does not expose settings_type; "
+                            "pass an explicit settings object instead of seed=")
+        settings = settings_type(seed=seed)
+    searcher = cls(network, settings=settings, **searcher_kwargs)
+    return searcher.search(budget=budget, callbacks=callbacks)

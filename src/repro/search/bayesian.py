@@ -10,6 +10,8 @@ whole-network EDP is evaluated for real.
 Features given to the GP are log-scaled hardware parameters, layer dimensions
 and mapping summary statistics (spatial parallelism, per-level tile sizes),
 which is the same information a black-box optimizer would observe.
+
+Registered as strategy ``"bayesian"`` in the unified search API.
 """
 
 from __future__ import annotations
@@ -24,9 +26,15 @@ from repro.arch.gemmini import GemminiSpec
 from repro.mapping.constraints import tensor_tile_words
 from repro.mapping.mapping import Mapping
 from repro.mapping.random_mapper import random_mapping_for_hardware
+from repro.search.api import (
+    CandidateDesign,
+    SearchBudget,
+    SearchOutcome,
+    SearchSession,
+    register_searcher,
+)
 from repro.search.gp import GaussianProcessRegressor
-from repro.search.results import BestSoFarTrace, SearchOutcome
-from repro.timeloop.model import evaluate_mapping
+from repro.timeloop.model import NetworkPerformance, PerformanceResult, evaluate_mapping
 from repro.utils.rng import SeedLike, make_rng
 from repro.workloads.layer import DIMENSIONS, LayerDims
 from repro.workloads.networks import Network
@@ -67,31 +75,35 @@ def mapping_features(hardware: HardwareConfig, layer: LayerDims, mapping: Mappin
     return np.array(hardware_features + layer_features + mapping_features_, dtype=float)
 
 
+@register_searcher("bayesian")
 class BayesianSearcher:
     """Gaussian-process-guided two-loop hardware/mapping co-search."""
+
+    settings_type = BayesianSettings
 
     def __init__(self, network: Network, settings: BayesianSettings | None = None) -> None:
         self.network = network
         self.settings = settings or BayesianSettings()
 
     # ------------------------------------------------------------------ #
-    def search(self) -> SearchOutcome:
+    def search(self, budget: SearchBudget | int | None = None,
+               callbacks=None) -> SearchOutcome:
         settings = self.settings
         rng = make_rng(settings.seed)
-        trace = BestSoFarTrace()
-        samples = 0
+        session = SearchSession("bayesian", budget=budget, callbacks=callbacks,
+                                settings=settings, network=self.network)
 
         # ---- Phase 1: collect training data (counts as samples). --------- #
         features: list[np.ndarray] = []
         targets: list[float] = []
-        best_edp = float("inf")
-        best_hardware: HardwareConfig | None = None
-        best_mappings: list[Mapping] | None = None
 
         for _ in range(settings.num_training_hardware):
+            if session.exhausted():
+                break
             hardware = random_hardware_config(seed=rng)
             spec = GemminiSpec(hardware)
             chosen: list[Mapping] = []
+            per_layer: list[PerformanceResult] = []
             total_latency = 0.0
             total_energy = 0.0
             feasible = True
@@ -99,12 +111,17 @@ class BayesianSearcher:
                 best_layer = None
                 best_layer_result = None
                 for _ in range(settings.mappings_per_layer):
+                    # Honor the budget, but keep the first design feasible:
+                    # every layer gets at least one evaluated mapping.
+                    if session.exhausted() and (best_layer is not None
+                                                or session.best is not None):
+                        break
                     mapping = random_mapping_for_hardware(layer, hardware, seed=rng,
                                                           max_attempts=10)
                     if mapping is None:
                         continue
                     result = evaluate_mapping(mapping, spec)
-                    samples += 1
+                    session.spend(1)
                     features.append(mapping_features(hardware, layer, mapping))
                     targets.append(np.log10(result.edp * max(layer.repeats, 1)))
                     if best_layer_result is None or result.edp < best_layer_result.edp:
@@ -114,15 +131,22 @@ class BayesianSearcher:
                     feasible = False
                     break
                 chosen.append(best_layer)
+                per_layer.append(best_layer_result)
                 total_latency += best_layer_result.latency_cycles * layer.repeats
                 total_energy += best_layer_result.energy * layer.repeats
             if feasible:
-                network_edp = total_latency * total_energy
-                if network_edp < best_edp:
-                    best_edp = network_edp
-                    best_hardware = hardware
-                    best_mappings = chosen
-            trace.record(samples, best_edp if best_edp < float("inf") else 1e30)
+                session.offer(CandidateDesign(
+                    hardware=hardware,
+                    mappings=chosen,
+                    performance=NetworkPerformance(total_latency=total_latency,
+                                                   total_energy=total_energy,
+                                                   per_layer=tuple(per_layer)),
+                ))
+            else:
+                session.checkpoint()
+
+        if not features or session.exhausted():
+            return session.finish()
 
         # ---- Phase 2: fit the GP surrogate. ------------------------------ #
         feature_matrix = np.asarray(features)
@@ -137,6 +161,10 @@ class BayesianSearcher:
         # ---- Phase 3: pick the best predicted candidate and evaluate it. -- #
         best_predicted: tuple[float, HardwareConfig, list[Mapping]] | None = None
         for _ in range(settings.num_candidates):
+            # GP scoring spends no reference samples but does take wall time,
+            # so the wall-clock budget still applies here.
+            if session.exhausted():
+                break
             hardware = random_hardware_config(seed=rng)
             candidate_mappings: list[Mapping] = []
             predicted_total = 0.0
@@ -165,26 +193,21 @@ class BayesianSearcher:
         if best_predicted is not None:
             _, hardware, mappings = best_predicted
             spec = GemminiSpec(hardware)
+            per_layer = []
             total_latency = 0.0
             total_energy = 0.0
             for layer, mapping in zip(self.network.layers, mappings):
                 result = evaluate_mapping(mapping, spec)
-                samples += 1
+                session.spend(1)
+                per_layer.append(result)
                 total_latency += result.latency_cycles * layer.repeats
                 total_energy += result.energy * layer.repeats
-            network_edp = total_latency * total_energy
-            if network_edp < best_edp:
-                best_edp = network_edp
-                best_hardware = hardware
-                best_mappings = mappings
-            trace.record(samples, best_edp)
+            session.offer(CandidateDesign(
+                hardware=hardware,
+                mappings=mappings,
+                performance=NetworkPerformance(total_latency=total_latency,
+                                               total_energy=total_energy,
+                                               per_layer=tuple(per_layer)),
+            ))
 
-        if best_hardware is None:
-            raise RuntimeError("Bayesian search found no feasible design")
-        return SearchOutcome(
-            method="bayesian",
-            best_edp=best_edp,
-            best_hardware=best_hardware,
-            best_mappings=best_mappings,
-            trace=trace,
-        )
+        return session.finish()

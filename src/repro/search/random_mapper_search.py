@@ -4,17 +4,104 @@ Used to give each expert baseline accelerator of Figure 8 a well-tuned set of
 mappings: the paper searches 10,000 valid mappings per layer with Timeloop's
 random-pruned mapper; this module performs the analogous random mapping search
 against our reference model.
+
+Registered as strategy ``"fixed_hw_random"`` in the unified search API; the
+target hardware is passed as a constructor keyword, e.g.::
+
+    repro.optimize(network, strategy="fixed_hw_random",
+                   hardware=HardwareConfig(16, 32, 128), seed=0)
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 from repro.arch.config import HardwareConfig
 from repro.arch.gemmini import GemminiSpec
 from repro.mapping.mapping import Mapping
-from repro.mapping.random_mapper import random_mapping_for_hardware
+from repro.mapping.random_mapper import random_mapping, random_mapping_for_hardware
+from repro.search.api import (
+    CandidateDesign,
+    SearchBudget,
+    SearchOutcome,
+    SearchSession,
+    register_searcher,
+)
 from repro.timeloop.model import NetworkPerformance, evaluate_mapping
 from repro.utils.rng import SeedLike, make_rng
 from repro.workloads.networks import Network
+
+
+@dataclass
+class FixedHardwareSettings:
+    """Best-of-N random mappings per layer on a fixed accelerator."""
+
+    mappings_per_layer: int = 1000
+    seed: SeedLike = None
+
+    def __post_init__(self) -> None:
+        if self.mappings_per_layer < 1:
+            raise ValueError("mappings_per_layer must be positive")
+
+
+@register_searcher("fixed_hw_random")
+class FixedHardwareMapperSearcher:
+    """Random mapping search with the hardware held fixed (mapping-only DSE).
+
+    Layers for which no fitting mapping is found fall back to the best mapping
+    sampled regardless of fit (pessimistic but keeps the comparison defined).
+    """
+
+    settings_type = FixedHardwareSettings
+
+    def __init__(self, network: Network,
+                 settings: FixedHardwareSettings | None = None,
+                 hardware: HardwareConfig | None = None) -> None:
+        if hardware is None:
+            raise TypeError("FixedHardwareMapperSearcher requires hardware=...")
+        self.network = network
+        self.settings = settings or FixedHardwareSettings()
+        self.hardware = hardware
+
+    def search(self, budget: SearchBudget | int | None = None,
+               callbacks=None) -> SearchOutcome:
+        settings = self.settings
+        rng = make_rng(settings.seed)
+        session = SearchSession("fixed_hw_random", budget=budget, callbacks=callbacks,
+                                settings=settings, network=self.network)
+        spec = GemminiSpec(self.hardware)
+        chosen: list[Mapping] = []
+        per_layer = []
+        total_latency = 0.0
+        total_energy = 0.0
+        for layer in self.network.layers:
+            best_result = None
+            best_mapping = None
+            for _ in range(settings.mappings_per_layer):
+                if best_mapping is not None and session.exhausted():
+                    break
+                mapping = random_mapping_for_hardware(layer, self.hardware, seed=rng,
+                                                      max_attempts=10)
+                if mapping is None:
+                    mapping = random_mapping(layer, seed=rng,
+                                             max_spatial=self.hardware.pe_dim)
+                result = evaluate_mapping(mapping, spec)
+                session.spend(1)
+                if best_result is None or result.edp < best_result.edp:
+                    best_result = result
+                    best_mapping = mapping
+            chosen.append(best_mapping)
+            per_layer.append(best_result)
+            total_latency += best_result.latency_cycles * layer.repeats
+            total_energy += best_result.energy * layer.repeats
+        session.offer(CandidateDesign(
+            hardware=self.hardware,
+            mappings=chosen,
+            performance=NetworkPerformance(total_latency=total_latency,
+                                           total_energy=total_energy,
+                                           per_layer=tuple(per_layer)),
+        ))
+        return session.finish()
 
 
 def best_random_mappings_for_hardware(
@@ -25,38 +112,9 @@ def best_random_mappings_for_hardware(
 ) -> tuple[list[Mapping], NetworkPerformance]:
     """Best-of-N random mappings per layer on a fixed hardware design.
 
-    Returns the chosen mappings and the whole-network performance.  Layers for
-    which no fitting mapping is found fall back to the best mapping sampled
-    regardless of fit (pessimistic but keeps the comparison defined).
+    Convenience wrapper around the ``"fixed_hw_random"`` strategy; returns the
+    chosen mappings and the whole-network performance.
     """
-    if mappings_per_layer < 1:
-        raise ValueError("mappings_per_layer must be positive")
-    rng = make_rng(seed)
-    spec = GemminiSpec(hardware)
-    chosen: list[Mapping] = []
-    total_latency = 0.0
-    total_energy = 0.0
-    per_layer = []
-    for layer in network.layers:
-        best_result = None
-        best_mapping = None
-        for _ in range(mappings_per_layer):
-            mapping = random_mapping_for_hardware(layer, hardware, seed=rng, max_attempts=10)
-            if mapping is None:
-                from repro.mapping.random_mapper import random_mapping
-
-                mapping = random_mapping(layer, seed=rng, max_spatial=hardware.pe_dim)
-            result = evaluate_mapping(mapping, spec)
-            if best_result is None or result.edp < best_result.edp:
-                best_result = result
-                best_mapping = mapping
-        chosen.append(best_mapping)
-        per_layer.append(best_result)
-        total_latency += best_result.latency_cycles * layer.repeats
-        total_energy += best_result.energy * layer.repeats
-    performance = NetworkPerformance(
-        total_latency=total_latency,
-        total_energy=total_energy,
-        per_layer=tuple(per_layer),
-    )
-    return chosen, performance
+    settings = FixedHardwareSettings(mappings_per_layer=mappings_per_layer, seed=seed)
+    outcome = FixedHardwareMapperSearcher(network, settings, hardware=hardware).search()
+    return outcome.best_mappings, outcome.best.performance

@@ -4,18 +4,26 @@ Following Section 6.1: the baseline evaluates a number of random hardware
 designs, and for each design samples a number of random valid mappings per
 layer, keeping the best mapping per layer.  Every reference-model evaluation
 counts as one sample, making the traces directly comparable to DOSA's.
+
+Registered as strategy ``"random"`` in the unified search API.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.arch.config import HardwareConfig, random_hardware_config
+from repro.arch.config import random_hardware_config
 from repro.arch.gemmini import GemminiSpec
 from repro.mapping.mapping import Mapping
 from repro.mapping.random_mapper import random_mapping_for_hardware
-from repro.search.results import BestSoFarTrace, SearchOutcome
-from repro.timeloop.model import evaluate_mapping
+from repro.search.api import (
+    CandidateDesign,
+    SearchBudget,
+    SearchOutcome,
+    SearchSession,
+    register_searcher,
+)
+from repro.timeloop.model import NetworkPerformance, PerformanceResult, evaluate_mapping
 from repro.utils.rng import SeedLike, make_rng
 from repro.workloads.networks import Network
 
@@ -33,68 +41,67 @@ class RandomSearchSettings:
             raise ValueError("search settings must be positive")
 
 
+@register_searcher("random")
 class RandomSearcher:
     """Two-loop random search over hardware configs and mappings."""
+
+    settings_type = RandomSearchSettings
 
     def __init__(self, network: Network, settings: RandomSearchSettings | None = None) -> None:
         self.network = network
         self.settings = settings or RandomSearchSettings()
 
-    def search(self) -> SearchOutcome:
+    def search(self, budget: SearchBudget | int | None = None,
+               callbacks=None) -> SearchOutcome:
         settings = self.settings
         rng = make_rng(settings.seed)
-        trace = BestSoFarTrace()
-        samples = 0
-        best_edp = float("inf")
-        best_hardware: HardwareConfig | None = None
-        best_mappings: list[Mapping] | None = None
+        session = SearchSession("random", budget=budget, callbacks=callbacks,
+                                settings=settings, network=self.network)
 
         for _ in range(settings.num_hardware_designs):
+            if session.exhausted():
+                break
             hardware = random_hardware_config(seed=rng)
             spec = GemminiSpec(hardware)
             chosen: list[Mapping] = []
+            per_layer: list[PerformanceResult] = []
             total_latency = 0.0
             total_energy = 0.0
             feasible = True
             for layer in self.network.layers:
-                best_layer_edp = float("inf")
                 best_layer = None
                 best_layer_result = None
                 for _ in range(settings.mappings_per_layer):
+                    # Honor the budget, but keep the first design feasible:
+                    # every layer gets at least one evaluated mapping.
+                    if session.exhausted() and (best_layer is not None
+                                                or session.best is not None):
+                        break
                     mapping = random_mapping_for_hardware(layer, hardware, seed=rng,
                                                           max_attempts=20)
                     if mapping is None:
                         continue
                     result = evaluate_mapping(mapping, spec)
-                    samples += 1
-                    layer_edp = result.edp
-                    if layer_edp < best_layer_edp:
-                        best_layer_edp = layer_edp
-                        best_layer = mapping
+                    session.spend(1)
+                    if best_layer_result is None or result.edp < best_layer_result.edp:
                         best_layer_result = result
+                        best_layer = mapping
                 if best_layer is None:
                     feasible = False
                     break
                 chosen.append(best_layer)
+                per_layer.append(best_layer_result)
                 total_latency += best_layer_result.latency_cycles * layer.repeats
                 total_energy += best_layer_result.energy * layer.repeats
             if not feasible:
-                trace.record(samples, best_edp if best_edp < float("inf") else 1e30)
+                session.checkpoint()
                 continue
-            network_edp = total_latency * total_energy
-            if network_edp < best_edp:
-                best_edp = network_edp
-                best_hardware = hardware
-                best_mappings = chosen
-            trace.record(samples, best_edp)
+            session.offer(CandidateDesign(
+                hardware=hardware,
+                mappings=chosen,
+                performance=NetworkPerformance(total_latency=total_latency,
+                                               total_energy=total_energy,
+                                               per_layer=tuple(per_layer)),
+            ))
 
-        if best_hardware is None:
-            raise RuntimeError("random search found no feasible design; "
-                               "increase mappings_per_layer or hardware designs")
-        return SearchOutcome(
-            method="random",
-            best_edp=best_edp,
-            best_hardware=best_hardware,
-            best_mappings=best_mappings,
-            trace=trace,
-        )
+        return session.finish()

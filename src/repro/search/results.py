@@ -1,48 +1,16 @@
-"""Shared result containers for the black-box search baselines."""
+"""Deprecated shim: the result containers now live in :mod:`repro.search.api`.
 
-from __future__ import annotations
+The pre-unification ``BestSoFarTrace`` (list-of-samples/list-of-EDPs) and the
+strategy-specific ``SearchOutcome`` were collapsed into the single
+:class:`repro.search.api.SearchTrace` / :class:`repro.search.api.SearchOutcome`
+pair shared by every strategy.  Import from :mod:`repro.search.api` (or
+:mod:`repro.search`) in new code.
+"""
 
-from dataclasses import dataclass, field
+from repro.search.api import CandidateDesign, SearchOutcome, SearchTrace, TracePoint
 
-from repro.arch.config import HardwareConfig
-from repro.mapping.mapping import Mapping
+# Backwards-compatible alias for the old black-box-baseline trace type.
+BestSoFarTrace = SearchTrace
 
-
-@dataclass
-class BestSoFarTrace:
-    """Best EDP observed as a function of the number of model evaluations."""
-
-    samples: list[int] = field(default_factory=list)
-    best_edp: list[float] = field(default_factory=list)
-
-    def record(self, samples: int, edp: float) -> None:
-        best = min(edp, self.best_edp[-1]) if self.best_edp else edp
-        self.samples.append(samples)
-        self.best_edp.append(best)
-
-    def best_after(self, samples: int) -> float:
-        """Best EDP achieved within the first ``samples`` evaluations."""
-        best = float("inf")
-        for count, edp in zip(self.samples, self.best_edp):
-            if count <= samples:
-                best = min(best, edp)
-        return best
-
-    @property
-    def final_best(self) -> float:
-        return self.best_edp[-1] if self.best_edp else float("inf")
-
-    @property
-    def total_samples(self) -> int:
-        return self.samples[-1] if self.samples else 0
-
-
-@dataclass
-class SearchOutcome:
-    """Final co-design point found by a searcher, with its evaluation trace."""
-
-    method: str
-    best_edp: float
-    best_hardware: HardwareConfig
-    best_mappings: list[Mapping]
-    trace: BestSoFarTrace
+__all__ = ["BestSoFarTrace", "CandidateDesign", "SearchOutcome", "SearchTrace",
+           "TracePoint"]

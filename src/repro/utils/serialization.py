@@ -1,9 +1,21 @@
 """JSON persistence for search results and experiment artifacts.
 
-Search runs are expensive; these helpers let the examples and experiment
-harnesses save the winning design (hardware + per-layer mappings + trace) and
-reload it later for re-evaluation, which is how the paper's artifact ships the
-DOSA-generated mappings to the FireSim evaluation step.
+Search runs are expensive; these helpers let the examples, the CLI ``search``
+subcommand and the experiment harnesses save the winning design (hardware +
+per-layer mappings + trace) and reload it later for re-evaluation, which is
+how the paper's artifact ships the DOSA-generated mappings to the FireSim
+evaluation step.
+
+Two granularities are supported:
+
+* :func:`save_design` / :func:`load_design` — a bare co-design point
+  (hardware + mappings + metadata),
+* :func:`save_outcome` / :func:`load_outcome` — a full unified
+  :class:`repro.search.api.SearchOutcome` (method, best design, best-so-far
+  trace, wall time, seed and settings snapshot).  Per-layer performance
+  details and non-best candidates are not serialized; the best design's
+  totals are stored so ``outcome.best_edp`` survives the round trip even for
+  adjusted-latency (RTL) searches.
 """
 
 from __future__ import annotations
@@ -14,6 +26,8 @@ from typing import Any
 
 from repro.arch.config import HardwareConfig
 from repro.mapping.mapping import Mapping
+from repro.search.api import CandidateDesign, SearchOutcome, SearchTrace
+from repro.timeloop.model import NetworkPerformance
 
 
 def hardware_to_dict(config: HardwareConfig) -> dict[str, int]:
@@ -61,3 +75,69 @@ def load_design(path: str | Path) -> tuple[HardwareConfig, list[Mapping], dict]:
     """Load a co-design point previously written by :func:`save_design`."""
     payload = json.loads(Path(path).read_text())
     return design_from_dict(payload)
+
+
+# --------------------------------------------------------------------------- #
+# Unified search outcomes
+# --------------------------------------------------------------------------- #
+def outcome_to_dict(outcome: SearchOutcome) -> dict[str, Any]:
+    """Serialize a unified :class:`SearchOutcome` to a JSON-safe dict."""
+    best = outcome.best
+    return {
+        "method": outcome.method,
+        "network": outcome.network,
+        "seed": outcome.seed,
+        "settings": outcome.settings,
+        "wall_time_seconds": outcome.wall_time_seconds,
+        "num_candidates": len(outcome.candidates),
+        "best": {
+            "hardware": hardware_to_dict(best.hardware),
+            "mappings": [m.as_dict() for m in best.mappings],
+            "total_latency": best.performance.total_latency,
+            "total_energy": best.performance.total_energy,
+            "edp": best.edp,
+        },
+        "trace": outcome.trace.to_dict(),
+    }
+
+
+def outcome_from_dict(payload: dict[str, Any]) -> SearchOutcome:
+    """Rebuild a :class:`SearchOutcome` written by :func:`outcome_to_dict`.
+
+    Per-layer performance results and non-best candidates are not persisted;
+    the restored outcome carries the best design's aggregate latency/energy
+    (``per_layer`` is empty) and an empty candidate list.
+    """
+    best_payload = payload["best"]
+    performance = NetworkPerformance(
+        total_latency=float(best_payload["total_latency"]),
+        total_energy=float(best_payload["total_energy"]),
+        per_layer=(),
+    )
+    best = CandidateDesign(
+        hardware=hardware_from_dict(best_payload["hardware"]),
+        mappings=[Mapping.from_dict(entry) for entry in best_payload["mappings"]],
+        performance=performance,
+    )
+    return SearchOutcome(
+        method=payload["method"],
+        best=best,
+        trace=SearchTrace.from_dict(payload["trace"]),
+        wall_time_seconds=float(payload.get("wall_time_seconds", 0.0)),
+        seed=payload.get("seed"),
+        settings=dict(payload.get("settings", {})),
+        network=payload.get("network", ""),
+    )
+
+
+def save_outcome(path: str | Path, outcome: SearchOutcome) -> Path:
+    """Write a unified search outcome to ``path`` as JSON; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(outcome_to_dict(outcome), indent=2))
+    return path
+
+
+def load_outcome(path: str | Path) -> SearchOutcome:
+    """Load a search outcome previously written by :func:`save_outcome`."""
+    return outcome_from_dict(json.loads(Path(path).read_text()))

@@ -75,9 +75,10 @@ class TestSearchTrace:
         trace = SearchTrace()
         trace.record(10, 100.0)
         trace.record(20, 50.0)
-        trace.record(30, 80.0)
+        trace.record(30, 80.0)  # clamped to the running best (50.0)
         assert trace.best_edp_after(10) == 100.0
         assert trace.best_edp_after(25) == 50.0
+        assert trace.best_edp_after(30) == 50.0
         assert trace.final_best == 50.0
         assert trace.total_samples == 30
 
@@ -89,11 +90,14 @@ class TestDosaSearcher:
         return DosaSearcher(small_network(), settings).search()
 
     def test_result_structure(self, search_result):
+        assert search_result.method == "dosa"
+        assert search_result.network == "tiny"
         assert search_result.best_edp > 0
         assert len(search_result.best.mappings) == 2
-        assert len(search_result.start_points) == 2
+        assert len(search_result.extras["start_points"]) == 2
         assert len(search_result.candidates) >= 2
         assert search_result.trace.total_samples > 0
+        assert search_result.wall_time_seconds > 0
 
     def test_best_mappings_are_valid_and_fit_best_hardware(self, search_result):
         for mapping in search_result.best.mappings:
@@ -116,7 +120,7 @@ class TestDosaSearcher:
         from repro.arch import GemminiSpec
         from repro.timeloop import evaluate_network_mappings
 
-        start = result.start_points[0]
+        start = result.extras["start_points"][0]
         start_edp = evaluate_network_mappings(start.mappings, GemminiSpec(start.hardware)).edp
         assert result.best_edp < start_edp
 
