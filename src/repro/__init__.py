@@ -8,6 +8,9 @@ The package is organized bottom-up:
 * :mod:`repro.arch` — the Gemmini-style accelerator and Table-2 cost model,
 * :mod:`repro.mapping` — mappings, rounding, random and CoSA-style mappers,
 * :mod:`repro.timeloop` — the iterative reference analytical model (Timeloop stand-in),
+* :mod:`repro.eval` — the fast evaluation engine over the reference model
+  (exact-result caching, vectorized batching, optional ``n_workers`` process
+  pool), used by every search strategy,
 * :mod:`repro.core` — the differentiable model (Eq. 1-18) and the DOSA searcher,
 * :mod:`repro.search` — the unified search API (protocol, registry, budget,
   callbacks) plus the random-search and Bayesian-optimization baselines,
@@ -34,6 +37,7 @@ the paper's Figures 7-9.  The same search is available from the shell::
 
 from repro.arch import GemminiSpec, HardwareConfig
 from repro.core.optimizer import DosaSearcher, DosaSettings, LoopOrderingStrategy
+from repro.eval import EvaluationCache, EvaluationEngine
 from repro.mapping import Mapping, cosa_mapping, random_mapping
 from repro.search.api import (
     CandidateDesign,
@@ -60,6 +64,8 @@ __all__ = [
     "DosaSearcher",
     "DosaSettings",
     "LoopOrderingStrategy",
+    "EvaluationCache",
+    "EvaluationEngine",
     "Mapping",
     "cosa_mapping",
     "random_mapping",

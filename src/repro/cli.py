@@ -121,12 +121,16 @@ def _run_search(args: argparse.Namespace) -> int:
             print(f"repro.cli search: error: --fixed-hardware: {error}", file=sys.stderr)
             return 2
 
+    if args.n_workers is not None and args.n_workers < 1:
+        print("repro.cli search: error: --n-workers must be >= 1", file=sys.stderr)
+        return 2
+
     print(f"[repro] searching {args.network} with strategy {args.strategy!r} "
           f"(max_samples={args.max_samples}, max_seconds={args.max_seconds}, "
-          f"seed={args.seed})")
+          f"seed={args.seed}, n_workers={args.n_workers})")
     outcome = optimize(args.network, strategy=args.strategy, budget=budget,
                        seed=args.seed, callbacks=ProgressCallback(prefix="[repro]"),
-                       **searcher_kwargs)
+                       n_workers=args.n_workers, **searcher_kwargs)
 
     print(f"[repro] {outcome.method} finished: best EDP {outcome.best_edp:.4e} "
           f"after {outcome.total_samples} samples "
@@ -168,6 +172,9 @@ def _build_parser() -> argparse.ArgumentParser:
     search.add_argument("--max-seconds", type=float, default=None,
                         help="budget: max wall-clock seconds")
     search.add_argument("--seed", type=int, default=0, help="search seed")
+    search.add_argument("--n-workers", type=int, default=None,
+                        help="process-pool size for reference-model evaluation "
+                             "(default: in-process; results are identical)")
     search.add_argument("--json", metavar="PATH", default=None,
                         help="write the full SearchOutcome to PATH as JSON")
     search.add_argument("--fixed-hardware", nargs=3, type=int, default=None,

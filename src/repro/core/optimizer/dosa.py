@@ -15,7 +15,10 @@ evaluation at a rounding point also counts one sample per layer mapping.
 
 The searcher implements the unified :mod:`repro.search.api` protocol: it is
 registered as strategy ``"dosa"`` and returns a :class:`SearchOutcome` whose
-``extras["start_points"]`` holds the generated GD start points.
+``extras["start_points"]`` holds the generated GD start points.  Reference
+evaluations at rounding points go through one per-run
+:class:`~repro.eval.engine.EvaluationEngine` (``n_workers`` selects its
+process pool), so re-visited rounded designs are served from cache.
 """
 
 from __future__ import annotations
@@ -25,8 +28,8 @@ from enum import Enum
 from typing import Callable
 
 from repro.arch.config import HardwareBounds, HardwareConfig
-from repro.arch.gemmini import GemminiSpec
 from repro.autodiff import Adam
+from repro.eval.engine import EvaluationEngine
 from repro.core.dmodel.factors import LayerFactors
 from repro.core.dmodel.loss import (
     best_ordering_per_layer,
@@ -45,7 +48,7 @@ from repro.search.api import (
     SearchSession,
     register_searcher,
 )
-from repro.timeloop.model import NetworkPerformance, evaluate_network_mappings
+from repro.timeloop.model import NetworkPerformance
 from repro.utils.rng import SeedLike, make_rng
 from repro.workloads.networks import Network
 
@@ -103,10 +106,12 @@ class DosaSearcher:
         network: Network,
         settings: DosaSettings | None = None,
         latency_adjuster: LatencyAdjuster | None = None,
+        n_workers: int | None = None,
     ) -> None:
         self.network = network
         self.settings = settings or DosaSettings()
         self.latency_adjuster = latency_adjuster
+        self.n_workers = n_workers
         self._repeats = [layer.repeats for layer in network.layers]
 
     # ------------------------------------------------------------------ #
@@ -126,14 +131,18 @@ class DosaSearcher:
             rejection_threshold=settings.rejection_threshold,
             fixed_pe_dim=settings.fixed_pe_dim,
         )
-        for start_point in start_points:
-            if session.exhausted():
-                break
-            self._descend_from(start_point, session)
+        # One engine (and cache) per run: rounding points snap onto the same
+        # divisors across steps and start points, so repeats are common.
+        with EvaluationEngine(n_workers=self.n_workers) as engine:
+            for start_point in start_points:
+                if session.exhausted():
+                    break
+                self._descend_from(start_point, session, engine)
         return session.finish(extras={"start_points": start_points})
 
     # ------------------------------------------------------------------ #
-    def _descend_from(self, start_point: StartPoint, session: SearchSession) -> None:
+    def _descend_from(self, start_point: StartPoint, session: SearchSession,
+                      engine: EvaluationEngine) -> None:
         settings = self.settings
         factors = [LayerFactors.from_mapping(m) for m in start_point.mappings]
         parameters = [p for f in factors for p in f.parameters()]
@@ -154,14 +163,14 @@ class DosaSearcher:
             if not at_rounding_point:
                 continue
 
-            session.offer(self._round_and_evaluate(factors, session))
+            session.offer(self._round_and_evaluate(factors, session, engine))
             evaluated_once = True
             # Re-check after the rounding evaluation: the reference samples it
             # spent may themselves have crossed the budget.
             if out_of_budget or session.exhausted():
                 return
         if not evaluated_once:  # pragma: no cover - defensive; loop always rounds
-            session.offer(self._round_and_evaluate(factors, session))
+            session.offer(self._round_and_evaluate(factors, session, engine))
 
     # ------------------------------------------------------------------ #
     def _loss(self, factors: list[LayerFactors]):
@@ -176,7 +185,8 @@ class DosaSearcher:
 
     # ------------------------------------------------------------------ #
     def _round_and_evaluate(
-        self, factors: list[LayerFactors], session: SearchSession
+        self, factors: list[LayerFactors], session: SearchSession,
+        engine: EvaluationEngine,
     ) -> CandidateDesign:
         settings = self.settings
         max_spatial = settings.fixed_pe_dim or settings.bounds.max_pe_dim
@@ -196,7 +206,7 @@ class DosaSearcher:
                 accumulator_kb=hardware.accumulator_kb,
                 scratchpad_kb=hardware.scratchpad_kb,
             )
-        performance = evaluate_network_mappings(rounded, GemminiSpec(hardware))
+        performance = engine.evaluate_network(rounded, hardware)
         performance = self._adjust_performance(rounded, hardware, performance)
         session.spend(len(rounded))
 

@@ -1,0 +1,37 @@
+"""Fast reference-model evaluation: caching, batching and parallelism.
+
+The reference (Timeloop-style) model in :mod:`repro.timeloop` is the
+evaluation oracle of every search strategy; this package makes querying it
+cheap without changing a single result:
+
+* :mod:`repro.eval.cache` — :class:`EvaluationCache` memoizes
+  ``(mapping, hardware)`` evaluations with hit/miss statistics,
+* :mod:`repro.eval.batch` — NumPy-vectorized traffic analysis for whole
+  candidate batches, verified bit-identical to the scalar walk,
+* :mod:`repro.eval.parallel` — :class:`ParallelEvaluator` spreads big batches
+  over a process pool (``n_workers``),
+* :mod:`repro.eval.engine` — :class:`EvaluationEngine`, the facade the search
+  strategies use, composing all three.
+
+See ``benchmarks/bench_model_throughput.py`` for the measured speedups.
+"""
+
+from repro.eval.batch import (
+    BatchTraffic,
+    batch_analyze_traffic,
+    evaluate_mappings_batched,
+)
+from repro.eval.cache import CacheStats, EvaluationCache, mapping_fingerprint
+from repro.eval.engine import EvaluationEngine
+from repro.eval.parallel import ParallelEvaluator
+
+__all__ = [
+    "BatchTraffic",
+    "batch_analyze_traffic",
+    "evaluate_mappings_batched",
+    "CacheStats",
+    "EvaluationCache",
+    "mapping_fingerprint",
+    "EvaluationEngine",
+    "ParallelEvaluator",
+]

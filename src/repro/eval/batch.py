@@ -1,0 +1,332 @@
+"""Vectorized (NumPy) batch traffic analysis, bit-identical to the scalar walk.
+
+:mod:`repro.timeloop.loopnest` analyses one mapping at a time with Python
+loops over levels, dimensions and tensors; at a few dozen microseconds per
+mapping that is the throughput ceiling of every search strategy.  This module
+computes the identical quantities — integer tile sizes, loop-order-aware
+reload factors, distinct-tile counts, spatial broadcast/reduction products and
+the per-level read/write/update tables — for a whole *batch* of mappings with
+array operations, so the per-mapping Python overhead is paid once per batch.
+
+Bit-identity with the scalar path is a hard guarantee, not an approximation:
+every factor is an integer represented exactly in float64 and every
+intermediate product stays far below 2**53, so products are exact regardless
+of association order, and the remaining floating-point operations (divisions,
+sums) are issued in the same order as the scalar implementation.  The test
+suite and ``benchmarks/bench_model_throughput.py`` assert equality with
+``==``, not with a tolerance.
+
+Mappings in one batch may target different layers (different dimensions,
+strides, loop orderings); only the hardware specification is shared per call,
+matching how the search strategies use it (many candidates, one design).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.arch.components import (
+    LEVEL_ACCUMULATOR,
+    LEVEL_DRAM,
+    LEVEL_REGISTERS,
+    LEVEL_SCRATCHPAD,
+    MEMORY_LEVEL_INDICES,
+)
+from repro.arch.config import HardwareConfig
+from repro.arch.gemmini import GemminiSpec
+from repro.mapping.constraints import validate_mapping
+from repro.mapping.mapping import (
+    DIM_INDEX,
+    LoopOrdering,
+    Mapping,
+    SPATIAL_DIMS,
+    ordering_for_tensor,
+)
+from repro.timeloop.loopnest import TrafficBreakdown, _FACTOR_EPS
+from repro.timeloop.model import PerformanceResult, _result_from_traffic, as_spec
+from repro.workloads.layer import DIMENSIONS, TENSOR_DIMS
+
+# Loop orderings in enum declaration order; ``ordering_index`` below maps a
+# mapping's per-level orderings onto rows of the permutation table.
+_ORDERINGS: tuple[LoopOrdering, ...] = tuple(LoopOrdering)
+_ORDERING_INDEX: dict[LoopOrdering, int] = {o: i for i, o in enumerate(_ORDERINGS)}
+
+# _ORDER_PERM[o] lists dimension indices in loop order (innermost first) for
+# ordering o — the vectorized counterpart of Mapping.loop_order().
+_ORDER_PERM = np.array(
+    [[DIM_INDEX[d] for d in ordering_for_tensor(o)] for o in _ORDERINGS],
+    dtype=np.intp,
+)
+
+# _RELEVANT[t][j] is True when dimension j is relevant to tensor t.
+_RELEVANT = {
+    tensor: np.array([d in TENSOR_DIMS[tensor] for d in DIMENSIONS])
+    for tensor in TENSOR_DIMS
+}
+
+_DIM_COLS = {dim: DIM_INDEX[dim] for dim in DIMENSIONS}
+
+
+@dataclass
+class _MappingArrays:
+    """Stacked factor/layer arrays of one batch of mappings."""
+
+    temporal: np.ndarray      # (B, levels, dims)
+    spatial: np.ndarray       # (B, levels, dims)
+    ordering_idx: np.ndarray  # (B, levels) indices into _ORDERINGS
+    stride_p: np.ndarray      # (B,)
+    stride_q: np.ndarray      # (B,)
+
+    @staticmethod
+    def from_mappings(mappings: list[Mapping]) -> "_MappingArrays":
+        return _MappingArrays(
+            temporal=np.stack([m.temporal for m in mappings]),
+            spatial=np.stack([m.spatial for m in mappings]),
+            ordering_idx=np.array(
+                [[_ORDERING_INDEX[o] for o in m.orderings] for m in mappings],
+                dtype=np.intp,
+            ),
+            stride_p=np.array([m.layer.stride_p for m in mappings], dtype=np.float64),
+            stride_q=np.array([m.layer.stride_q for m in mappings], dtype=np.float64),
+        )
+
+
+def _inner_extents(arrays: _MappingArrays, level: int) -> np.ndarray:
+    """(B, dims) integer extents inside the level tile (ceiling semantics)."""
+    extent = arrays.spatial.prod(axis=1)
+    if level > 0:
+        extent = extent * arrays.temporal[:, :level, :].prod(axis=1)
+    return np.maximum(1.0, np.ceil(extent - _FACTOR_EPS))
+
+
+def _tile_words(arrays: _MappingArrays, inner: np.ndarray, tensor: str) -> np.ndarray:
+    """(B,) words of ``tensor`` resident at the level ``inner`` was built for."""
+    col = _DIM_COLS
+    if tensor == "W":
+        return (inner[:, col["R"]] * inner[:, col["S"]]
+                * inner[:, col["C"]] * inner[:, col["K"]])
+    if tensor == "O":
+        return (inner[:, col["P"]] * inner[:, col["Q"]]
+                * inner[:, col["K"]] * inner[:, col["N"]])
+    if tensor == "I":
+        words = inner[:, col["C"]] * inner[:, col["N"]]
+        height = arrays.stride_p * (inner[:, col["P"]] - 1.0) + inner[:, col["R"]]
+        width = arrays.stride_q * (inner[:, col["Q"]] - 1.0) + inner[:, col["S"]]
+        return words * height * width
+    raise KeyError(f"unknown tensor {tensor!r}")
+
+
+def _reload_factors(arrays: _MappingArrays, level: int, tensor: str) -> np.ndarray:
+    """(B,) loop-order-aware reload factors (vectorized ``reload_factor``).
+
+    The walk sequence (levels outward, innermost loop first within each level)
+    is materialized as a (B, positions) factor matrix via ordering-permutation
+    gathers; the ``seen_relevant`` state machine becomes a cumulative-or over
+    active relevant positions.
+    """
+    relevant_by_dim = _RELEVANT[tensor]
+    factor_segments = []
+    relevant_segments = []
+    for walk_level in range(level, LEVEL_DRAM + 1):
+        perm = _ORDER_PERM[arrays.ordering_idx[:, walk_level]]          # (B, dims)
+        factor_segments.append(
+            np.take_along_axis(arrays.temporal[:, walk_level, :], perm, axis=1))
+        relevant_segments.append(relevant_by_dim[perm])
+    factors = np.concatenate(factor_segments, axis=1)
+    relevant = np.concatenate(relevant_segments, axis=1)
+
+    active = factors > 1.0 + _FACTOR_EPS
+    relevant_active = active & relevant
+    # seen_relevant *before* each position: a relevant active factor occurred
+    # strictly earlier in the walk.
+    seen_before = (np.cumsum(relevant_active, axis=1) - relevant_active) > 0
+    include = active & (relevant | seen_before)
+    return np.where(include, factors, 1.0).prod(axis=1)
+
+
+def _distinct_tiles(arrays: _MappingArrays, level: int, tensor: str) -> np.ndarray:
+    """(B,) distinct level tiles of ``tensor`` over the layer."""
+    relevant_cols = np.flatnonzero(_RELEVANT[tensor])
+    return arrays.temporal[:, level:, :][:, :, relevant_cols].prod(axis=(1, 2))
+
+
+def _spatial_irrelevant(arrays: _MappingArrays, level: int, tensor: str) -> np.ndarray:
+    """(B,) Equation 8/10 spatial broadcast/reduction products at ``level``."""
+    irrelevant_cols = np.flatnonzero(~_RELEVANT[tensor])
+    return arrays.spatial[:, level, irrelevant_cols].prod(axis=1)
+
+
+def _total_macs(arrays: _MappingArrays) -> np.ndarray:
+    """(B,) MAC counts: the product of every spatial and temporal factor."""
+    return (arrays.temporal.prod(axis=1) * arrays.spatial.prod(axis=1)).prod(axis=1)
+
+
+@dataclass
+class BatchTraffic:
+    """Per-level/per-tensor traffic of a batch, as (B,)-shaped arrays.
+
+    ``reads``/``writes``/``updates`` mirror the dict layout (and insertion
+    order) of the scalar :class:`TrafficBreakdown`, with arrays in place of
+    scalars; :meth:`breakdown` extracts one mapping's scalar view.
+    """
+
+    macs: np.ndarray
+    reads: dict[int, dict[str, np.ndarray]]
+    writes: dict[int, dict[str, np.ndarray]]
+    updates: dict[int, dict[str, np.ndarray]]
+
+    def __len__(self) -> int:
+        return len(self.macs)
+
+    def breakdown(self, index: int) -> TrafficBreakdown:
+        """Scalar :class:`TrafficBreakdown` of mapping ``index``.
+
+        Tables are populated in the exact insertion order of
+        :func:`analyze_traffic` so downstream dict-value sums are performed in
+        the same sequence and stay bit-identical.
+        """
+        breakdown = TrafficBreakdown(macs=float(self.macs[index]))
+        for source, target in ((self.reads, breakdown.reads),
+                               (self.writes, breakdown.writes),
+                               (self.updates, breakdown.updates)):
+            for level in MEMORY_LEVEL_INDICES:
+                target[level] = {tensor: float(values[index])
+                                 for tensor, values in source.get(level, {}).items()}
+        return breakdown
+
+    def per_level_accesses(self) -> np.ndarray:
+        """(B, levels) access totals, summed in the scalar path's order."""
+        totals = np.zeros((len(self.macs), len(MEMORY_LEVEL_INDICES)))
+        for position, level in enumerate(MEMORY_LEVEL_INDICES):
+            total = np.zeros(len(self.macs))
+            for table in (self.reads, self.writes, self.updates):
+                entries = list(table.get(level, {}).values())
+                if not entries:
+                    continue
+                table_sum = np.zeros(len(self.macs))
+                for values in entries:  # same order as sum(dict.values())
+                    table_sum = table_sum + values
+                total = total + table_sum
+            totals[:, position] = total
+        return totals
+
+
+def batch_analyze_traffic(
+    mappings: list[Mapping], arrays: _MappingArrays | None = None
+) -> BatchTraffic:
+    """Vectorized :func:`repro.timeloop.loopnest.analyze_traffic` over a batch.
+
+    ``arrays`` lets callers that already stacked the batch (the validity
+    screen shares the same arrays) skip a second stacking pass.
+    """
+    if arrays is None:
+        arrays = _MappingArrays.from_mappings(mappings)
+    macs = _total_macs(arrays)
+
+    inner_registers = _inner_extents(arrays, LEVEL_REGISTERS)
+    inner_accumulator = _inner_extents(arrays, LEVEL_ACCUMULATOR)
+    inner_scratchpad = _inner_extents(arrays, LEVEL_SCRATCHPAD)
+
+    spatial_c = arrays.spatial[:, LEVEL_ACCUMULATOR, _DIM_COLS["C"]]
+    spatial_k = arrays.spatial[:, LEVEL_SCRATCHPAD, _DIM_COLS["K"]]
+
+    # ---- Weights: registers <- scratchpad <- DRAM ---------------------- #
+    writes_w_registers = (_tile_words(arrays, inner_registers, "W")
+                          * _reload_factors(arrays, LEVEL_REGISTERS, "W"))
+    writes_w_scratchpad = (_tile_words(arrays, inner_scratchpad, "W")
+                           * _reload_factors(arrays, LEVEL_SCRATCHPAD, "W"))
+    reads_w_registers = macs / _spatial_irrelevant(arrays, LEVEL_REGISTERS, "W")
+    reads_w_scratchpad = (writes_w_registers
+                          / _spatial_irrelevant(arrays, LEVEL_SCRATCHPAD, "W"))
+
+    # ---- Inputs: scratchpad <- DRAM ------------------------------------ #
+    writes_i_scratchpad = (_tile_words(arrays, inner_scratchpad, "I")
+                           * _reload_factors(arrays, LEVEL_SCRATCHPAD, "I"))
+    reads_i_scratchpad = macs / np.maximum(spatial_k, 1.0)
+
+    # ---- Outputs: accumulator <-> DRAM --------------------------------- #
+    output_tile = _tile_words(arrays, inner_accumulator, "O")
+    reloads_o = _reload_factors(arrays, LEVEL_ACCUMULATOR, "O")
+    distinct_o = _distinct_tiles(arrays, LEVEL_ACCUMULATOR, "O")
+    drains = output_tile * reloads_o
+    refills = output_tile * np.maximum(reloads_o - distinct_o, 0.0)
+    updates_o_accumulator = macs / np.maximum(spatial_c, 1.0)
+
+    return BatchTraffic(
+        macs=macs,
+        reads={
+            LEVEL_REGISTERS: {"W": reads_w_registers},
+            LEVEL_ACCUMULATOR: {"O": drains},
+            LEVEL_SCRATCHPAD: {"W": reads_w_scratchpad, "I": reads_i_scratchpad},
+            LEVEL_DRAM: {"W": writes_w_scratchpad, "I": writes_i_scratchpad,
+                         "O": refills},
+        },
+        writes={
+            LEVEL_REGISTERS: {"W": writes_w_registers},
+            LEVEL_ACCUMULATOR: {"O": refills},
+            LEVEL_SCRATCHPAD: {"W": writes_w_scratchpad, "I": writes_i_scratchpad},
+            LEVEL_DRAM: {},
+        },
+        updates={
+            LEVEL_REGISTERS: {},
+            LEVEL_ACCUMULATOR: {"O": updates_o_accumulator},
+            LEVEL_SCRATCHPAD: {},
+            LEVEL_DRAM: {"O": drains},
+        },
+    )
+
+
+def _batch_validate(mappings: list[Mapping], arrays: _MappingArrays) -> None:
+    """Vectorized structural validity screen; delegates failures for messages.
+
+    Mirrors :func:`repro.mapping.constraints.validate_mapping`; on the first
+    violating mapping the scalar validator produces the canonical error text,
+    so batch and scalar paths raise identical exceptions.
+    """
+    tolerance = 1e-6
+    expected = np.array([[m.layer.dim(d) for d in DIMENSIONS] for m in mappings],
+                        dtype=np.float64)
+    products = arrays.temporal.prod(axis=1) * arrays.spatial.prod(axis=1)
+    ws_forbidden = np.ones((arrays.spatial.shape[1], arrays.spatial.shape[2]), dtype=bool)
+    for level, dim in SPATIAL_DIMS:
+        ws_forbidden[level, DIM_INDEX[dim]] = False
+
+    suspect = (
+        (arrays.temporal < 1.0 - tolerance).any(axis=(1, 2))
+        | (arrays.spatial < 1.0 - tolerance).any(axis=(1, 2))
+        | (np.abs(arrays.temporal - np.round(arrays.temporal)) > 1e-9).any(axis=(1, 2))
+        | (np.abs(arrays.spatial - np.round(arrays.spatial)) > 1e-9).any(axis=(1, 2))
+        | (arrays.spatial[:, ws_forbidden] > 1.0 + tolerance).any(axis=1)
+        | (np.abs(products - expected) > tolerance * np.maximum(expected, 1.0)).any(axis=1)
+    )
+    # Only suspect rows pay for the scalar validator, which produces the
+    # canonical error message (identical to the evaluate_mapping path).
+    for index in np.flatnonzero(suspect):
+        problems = validate_mapping(mappings[int(index)])
+        if problems:
+            raise ValueError(
+                "cannot evaluate an invalid mapping: " + "; ".join(problems))
+
+
+def evaluate_mappings_batched(
+    mappings: list[Mapping],
+    spec: GemminiSpec | HardwareConfig,
+    check_validity: bool = True,
+) -> list[PerformanceResult]:
+    """Batch counterpart of :func:`repro.timeloop.model.evaluate_mapping`.
+
+    Returns one :class:`PerformanceResult` per input mapping, in order, with
+    every field bit-identical to the scalar path.  All mappings are evaluated
+    on the same hardware ``spec``; layers may differ between mappings.
+    """
+    if not mappings:
+        return []
+    spec = as_spec(spec)
+    arrays = _MappingArrays.from_mappings(mappings)
+    if check_validity:
+        _batch_validate(mappings, arrays)
+    traffic = batch_analyze_traffic(mappings, arrays)
+    return [_result_from_traffic(traffic.breakdown(i), mapping, spec)
+            for i, mapping in enumerate(mappings)]

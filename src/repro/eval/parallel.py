@@ -1,0 +1,99 @@
+"""Process-pool evaluation of mapping batches (``n_workers`` plumbing).
+
+The reference model is pure Python/NumPy and holds no shared state, so large
+candidate batches parallelize trivially across processes: mappings, hardware
+specs and :class:`~repro.timeloop.model.PerformanceResult` objects are all
+plain picklable dataclasses.  :class:`ParallelEvaluator` splits a batch into
+contiguous chunks, ships each chunk to a worker running the vectorized batch
+evaluator, and reassembles results in input order — so results are
+bit-identical to the serial path and independent of worker scheduling.
+
+Workers are spawned lazily on first use (searchers that never see a batch
+above the engine's parallel threshold never pay the pool start-up cost) and
+are shut down via :meth:`close` / the context-manager protocol.  On platforms
+with ``fork`` the pool uses it to avoid re-importing the package per worker.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.arch.config import HardwareConfig
+from repro.arch.gemmini import GemminiSpec
+from repro.eval.batch import evaluate_mappings_batched
+from repro.mapping.mapping import Mapping
+from repro.timeloop.model import PerformanceResult, as_spec
+
+
+def _evaluate_chunk(
+    mappings: list[Mapping], spec: GemminiSpec, check_validity: bool
+) -> list[PerformanceResult]:
+    """Worker entry point: vectorized evaluation of one contiguous chunk."""
+    return evaluate_mappings_batched(mappings, spec, check_validity=check_validity)
+
+
+def _pool_context():
+    """Prefer ``fork`` (no re-import cost) where available, else the default."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context()
+
+
+class ParallelEvaluator:
+    """Evaluates mapping batches across ``n_workers`` processes, in order."""
+
+    def __init__(self, n_workers: int, min_chunk_size: int = 16) -> None:
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        if min_chunk_size < 1:
+            raise ValueError(f"min_chunk_size must be >= 1, got {min_chunk_size}")
+        self.n_workers = n_workers
+        self.min_chunk_size = min_chunk_size
+        self._executor: ProcessPoolExecutor | None = None
+
+    # ------------------------------------------------------------------ #
+    def _ensure_executor(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.n_workers, mp_context=_pool_context())
+        return self._executor
+
+    def evaluate_many(
+        self,
+        mappings: list[Mapping],
+        spec: GemminiSpec | HardwareConfig,
+        check_validity: bool = True,
+    ) -> list[PerformanceResult]:
+        """Evaluate ``mappings`` on ``spec`` concurrently; results keep order."""
+        if not mappings:
+            return []
+        spec = as_spec(spec)
+        chunk_size = max(self.min_chunk_size,
+                         -(-len(mappings) // self.n_workers))
+        if len(mappings) <= chunk_size or self.n_workers == 1:
+            return evaluate_mappings_batched(mappings, spec,
+                                             check_validity=check_validity)
+        executor = self._ensure_executor()
+        chunks = [mappings[start:start + chunk_size]
+                  for start in range(0, len(mappings), chunk_size)]
+        futures = [executor.submit(_evaluate_chunk, chunk, spec, check_validity)
+                   for chunk in chunks]
+        results: list[PerformanceResult] = []
+        for future in futures:  # submission order == input order
+            results.extend(future.result())
+        return results
+
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __enter__(self) -> "ParallelEvaluator":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

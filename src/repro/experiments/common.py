@@ -25,25 +25,34 @@ def run_search(
     strategy: str,
     settings: Any = None,
     budget: SearchBudget | int | None = None,
+    n_workers: int | None = None,
     **searcher_kwargs,
 ) -> SearchOutcome:
-    """Run one registered strategy on a named workload (unified outcome)."""
+    """Run one registered strategy on a named workload (unified outcome).
+
+    ``n_workers`` sizes the evaluation engine's process pool for the
+    reference model (``None`` keeps evaluation in-process; results are
+    identical either way, so harness outputs do not depend on it).
+    """
     return optimize(workload, strategy=strategy, settings=settings,
-                    budget=budget, **searcher_kwargs)
+                    budget=budget, n_workers=n_workers, **searcher_kwargs)
 
 
 def run_strategies(
     workload: str,
     strategy_settings: dict[str, Any],
     budget: SearchBudget | int | None = None,
+    n_workers: int | None = None,
 ) -> dict[str, SearchOutcome]:
     """Run several strategies on one workload with a shared budget.
 
     ``strategy_settings`` maps registry names to settings objects (or ``None``
     for each strategy's defaults); the same :class:`SearchBudget` applies to
-    every strategy so their traces are directly comparable.
+    every strategy so their traces are directly comparable.  ``n_workers``
+    is forwarded to every strategy's evaluation engine.
     """
-    return {strategy: run_search(workload, strategy, settings=settings, budget=budget)
+    return {strategy: run_search(workload, strategy, settings=settings,
+                                 budget=budget, n_workers=n_workers)
             for strategy, settings in strategy_settings.items()}
 
 

@@ -76,11 +76,13 @@ def run_workload(
     workload: str,
     strategy_settings: dict[str, object],
     budget: SearchBudget | int | None = None,
+    n_workers: int | None = None,
 ) -> CoSearchResult:
     """Run the configured strategies on one workload and collect traces."""
     return CoSearchResult(
         workload=workload,
-        outcomes=run_strategies(workload, strategy_settings, budget=budget),
+        outcomes=run_strategies(workload, strategy_settings, budget=budget,
+                                n_workers=n_workers),
     )
 
 
@@ -96,6 +98,7 @@ def run(
     bo_candidates: int = 1000,
     budget: SearchBudget | int | None = None,
     seed: SeedLike = 0,
+    n_workers: int | None = None,
 ) -> list[CoSearchResult]:
     """Paper-scale defaults; pass smaller values (or a budget) for quick runs."""
     strategy_settings = {
@@ -109,7 +112,8 @@ def run(
                                      num_candidates=bo_candidates, seed=seed),
     }
     assert tuple(strategy_settings) == COSEARCH_STRATEGIES
-    return [run_workload(workload, strategy_settings, budget=budget)
+    return [run_workload(workload, strategy_settings, budget=budget,
+                         n_workers=n_workers)
             for workload in workloads]
 
 

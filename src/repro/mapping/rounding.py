@@ -34,7 +34,15 @@ def _positions_for_dim(dim: str) -> list[tuple[str, int]]:
 
 
 def round_factors_for_dimension(mapping: Mapping, dim: str, max_spatial: float | None = None) -> None:
-    """Round all factors of one dimension in place (innermost to outermost)."""
+    """Round all factors of one dimension in place (innermost to outermost).
+
+    ``max_spatial`` caps the spatial factor of ``dim``; a fractional cap
+    (e.g. a mesh bound computed as ``15.999999...``) is rounded to the
+    nearest integer rather than truncated, so float noise cannot silently
+    shrink the spatial tile.  Caps below 1 are rejected outright.
+    """
+    if max_spatial is not None and max_spatial < 1:
+        raise ValueError(f"max_spatial must be >= 1, got {max_spatial}")
     total = mapping.layer.dim(dim)
     remaining = total
     j = DIM_INDEX[dim]
@@ -42,7 +50,7 @@ def round_factors_for_dimension(mapping: Mapping, dim: str, max_spatial: float |
         raw = mapping.spatial[level, j] if kind == "S" else mapping.temporal[level, j]
         limit = remaining
         if kind == "S" and max_spatial is not None:
-            limit = min(limit, int(max_spatial))
+            limit = min(limit, int(round(max_spatial)))
         rounded = round_to_nearest_divisor(max(raw, 1.0), remaining, max_value=limit)
         if kind == "S":
             mapping.spatial[level, j] = float(rounded)
@@ -57,7 +65,11 @@ def round_mapping(mapping: Mapping, max_spatial: float | None = None) -> Mapping
 
     ``max_spatial`` optionally caps the spatial factors (the paper caps the
     PE array at 128x128, and the Gemmini-RTL experiments fix it to 16x16).
+    Fractional caps are rounded to the nearest integer; caps below 1 raise
+    ``ValueError``.
     """
+    if max_spatial is not None and max_spatial < 1:
+        raise ValueError(f"max_spatial must be >= 1, got {max_spatial}")
     rounded = mapping.copy()
     # The WS dataflow only supports spatial factors at the C/K positions; any
     # other spatial entry is structural noise and is reset before rounding.

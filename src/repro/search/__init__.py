@@ -15,7 +15,10 @@ strategy registry:
   mappings.
 
 Use :func:`repro.optimize` (or :func:`repro.search.api.optimize`) as the
-single entry point.
+single entry point.  Every strategy queries the reference model through the
+:class:`repro.eval.EvaluationEngine` (cached + batched, optionally parallel
+via the ``n_workers`` keyword of ``optimize``/the searcher constructors);
+results are bit-identical to direct evaluation, only faster.
 """
 
 from repro.search.api import (

@@ -347,14 +347,32 @@ class SearchSession:
         return time.monotonic() - self._started
 
     def spend(self, count: int = 1) -> int:
-        """Advance the sample counter and fire ``on_step``."""
-        self.samples += count
-        self.callbacks.on_step(self.samples)
+        """Advance the sample counter, firing ``on_step`` once per sample.
+
+        Batched evaluation spends several samples in one call; per-sample
+        ``on_step`` dispatch is kept so callback streams are independent of
+        the evaluation batch size.
+        """
+        for _ in range(count):
+            self.samples += 1
+            self.callbacks.on_step(self.samples)
         return self.samples
 
     def exhausted(self) -> bool:
         """Whether the budget is spent (samples or wall time)."""
         return self.budget.exhausted(self.samples, self.elapsed_seconds)
+
+    def sample_allowance(self, cap: int) -> int:
+        """Samples spendable before crossing ``max_samples``, at most ``cap``.
+
+        Batched searchers size their evaluation chunks with this so a batch
+        never overshoots the sample budget (the documented overshoot bound —
+        one in-flight evaluation per layer — is enforced by the callers'
+        keep-the-first-design-feasible rule, not by batching).
+        """
+        if self.budget.max_samples is None:
+            return cap
+        return max(0, min(cap, self.budget.max_samples - self.samples))
 
     # -- candidates ----------------------------------------------------- #
     def offer(self, candidate: CandidateDesign) -> bool:
@@ -464,6 +482,7 @@ def optimize(
     settings: Any = None,
     callbacks=None,
     seed: SeedLike | None = None,
+    n_workers: int | None = None,
     **searcher_kwargs,
 ) -> SearchOutcome:
     """Run one co-search strategy on a network and return its outcome.
@@ -471,13 +490,17 @@ def optimize(
     ``network`` may be a :class:`Network` or a registry name (``"bert"``,
     ``"resnet50"``, ...).  ``budget`` may be a :class:`SearchBudget` or an
     int (max samples).  ``settings`` overrides the strategy's default
-    hyperparameters; when omitted, ``seed`` seeds the defaults.  Extra
-    keyword arguments go to the searcher constructor (e.g. ``hardware=`` for
-    the ``fixed_hw_random`` strategy).
+    hyperparameters; when omitted, ``seed`` seeds the defaults.
+    ``n_workers`` sizes the evaluation engine's process pool (``None`` keeps
+    reference evaluation in-process; results are identical either way).
+    Extra keyword arguments go to the searcher constructor (e.g.
+    ``hardware=`` for the ``fixed_hw_random`` strategy).
     """
     if isinstance(network, str):
         network = get_network(network)
     cls = get_searcher(strategy)
+    if n_workers is not None:
+        searcher_kwargs["n_workers"] = n_workers
     if seed is not None:
         if settings is not None:
             raise TypeError("pass either settings= or seed=, not both: the seed "

@@ -11,6 +11,11 @@ Features given to the GP are log-scaled hardware parameters, layer dimensions
 and mapping summary statistics (spatial parallelism, per-level tile sizes),
 which is the same information a black-box optimizer would observe.
 
+Reference evaluations (training-data collection and the final candidate
+scoring) run through the :class:`~repro.eval.engine.EvaluationEngine`, so
+repeated candidates hit the cache and batches are vectorized / optionally
+spread over ``n_workers`` processes; sample accounting is unchanged.
+
 Registered as strategy ``"bayesian"`` in the unified search API.
 """
 
@@ -22,7 +27,7 @@ import numpy as np
 
 from repro.arch.components import LEVEL_ACCUMULATOR, LEVEL_SCRATCHPAD
 from repro.arch.config import HardwareConfig, random_hardware_config
-from repro.arch.gemmini import GemminiSpec
+from repro.eval.engine import EvaluationEngine
 from repro.mapping.constraints import tensor_tile_words
 from repro.mapping.mapping import Mapping
 from repro.mapping.random_mapper import random_mapping_for_hardware
@@ -33,8 +38,9 @@ from repro.search.api import (
     SearchSession,
     register_searcher,
 )
+from repro.search.batching import best_of_random_mappings
 from repro.search.gp import GaussianProcessRegressor
-from repro.timeloop.model import NetworkPerformance, PerformanceResult, evaluate_mapping
+from repro.timeloop.model import NetworkPerformance, PerformanceResult, as_spec
 from repro.utils.rng import SeedLike, make_rng
 from repro.workloads.layer import DIMENSIONS, LayerDims
 from repro.workloads.networks import Network
@@ -81,13 +87,21 @@ class BayesianSearcher:
 
     settings_type = BayesianSettings
 
-    def __init__(self, network: Network, settings: BayesianSettings | None = None) -> None:
+    def __init__(self, network: Network, settings: BayesianSettings | None = None,
+                 n_workers: int | None = None) -> None:
         self.network = network
         self.settings = settings or BayesianSettings()
+        self.n_workers = n_workers
 
     # ------------------------------------------------------------------ #
     def search(self, budget: SearchBudget | int | None = None,
                callbacks=None) -> SearchOutcome:
+        with EvaluationEngine(n_workers=self.n_workers) as engine:
+            return self._search(engine, budget=budget, callbacks=callbacks)
+
+    def _search(self, engine: EvaluationEngine,
+                budget: SearchBudget | int | None = None,
+                callbacks=None) -> SearchOutcome:
         settings = self.settings
         rng = make_rng(settings.seed)
         session = SearchSession("bayesian", budget=budget, callbacks=callbacks,
@@ -101,32 +115,25 @@ class BayesianSearcher:
             if session.exhausted():
                 break
             hardware = random_hardware_config(seed=rng)
-            spec = GemminiSpec(hardware)
+            spec = as_spec(hardware)
             chosen: list[Mapping] = []
             per_layer: list[PerformanceResult] = []
             total_latency = 0.0
             total_energy = 0.0
             feasible = True
             for layer in self.network.layers:
-                best_layer = None
-                best_layer_result = None
-                for _ in range(settings.mappings_per_layer):
-                    # Honor the budget, but keep the first design feasible:
-                    # every layer gets at least one evaluated mapping.
-                    if session.exhausted() and (best_layer is not None
-                                                or session.best is not None):
-                        break
-                    mapping = random_mapping_for_hardware(layer, hardware, seed=rng,
-                                                          max_attempts=10)
-                    if mapping is None:
-                        continue
-                    result = evaluate_mapping(mapping, spec)
-                    session.spend(1)
+
+                def record_training_point(mapping, result, layer=layer):
                     features.append(mapping_features(hardware, layer, mapping))
                     targets.append(np.log10(result.edp * max(layer.repeats, 1)))
-                    if best_layer_result is None or result.edp < best_layer_result.edp:
-                        best_layer_result = result
-                        best_layer = mapping
+
+                best_layer, best_layer_result = best_of_random_mappings(
+                    session, engine, spec,
+                    attempts=settings.mappings_per_layer,
+                    generate=lambda layer=layer: random_mapping_for_hardware(
+                        layer, hardware, seed=rng, max_attempts=10),
+                    on_evaluated=record_training_point,
+                )
                 if best_layer is None:
                     feasible = False
                     break
@@ -192,13 +199,13 @@ class BayesianSearcher:
 
         if best_predicted is not None:
             _, hardware, mappings = best_predicted
-            spec = GemminiSpec(hardware)
+            spec = as_spec(hardware)
+            results = engine.evaluate_many(mappings, spec)
+            session.spend(len(results))
             per_layer = []
             total_latency = 0.0
             total_energy = 0.0
-            for layer, mapping in zip(self.network.layers, mappings):
-                result = evaluate_mapping(mapping, spec)
-                session.spend(1)
+            for layer, result in zip(self.network.layers, results):
                 per_layer.append(result)
                 total_latency += result.latency_cycles * layer.repeats
                 total_energy += result.energy * layer.repeats

@@ -12,6 +12,13 @@ import numpy as np
 from scipy.linalg import cho_factor, cho_solve
 from scipy.stats import norm
 
+# Floor for the posterior variance before the sqrt.  Near-duplicate training
+# points make the Cholesky-solved variance numerically negative (the exact
+# value is ~0, the round-off error is ~ -1e-9); without the clamp the sqrt
+# returns NaN and a single poisoned std silently zeroes expected improvement
+# for every candidate scored in the same batch.
+_MIN_POSTERIOR_VARIANCE = 1e-12
+
 
 class GaussianProcessRegressor:
     """Exact GP regression with an RBF kernel and observation noise."""
@@ -66,7 +73,7 @@ class GaussianProcessRegressor:
             return mean
         v = cho_solve(self._cho, cross.T)
         variance = self.signal_variance - np.einsum("ij,ji->i", cross, v)
-        variance = np.maximum(variance, 1e-12)
+        variance = np.maximum(variance, _MIN_POSTERIOR_VARIANCE)
         return mean, np.sqrt(variance) * self._y_std
 
 

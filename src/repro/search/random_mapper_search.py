@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.arch.config import HardwareConfig
-from repro.arch.gemmini import GemminiSpec
+from repro.eval.engine import EvaluationEngine
 from repro.mapping.mapping import Mapping
 from repro.mapping.random_mapper import random_mapping, random_mapping_for_hardware
 from repro.search.api import (
@@ -27,7 +27,8 @@ from repro.search.api import (
     SearchSession,
     register_searcher,
 )
-from repro.timeloop.model import NetworkPerformance, evaluate_mapping
+from repro.search.batching import best_of_random_mappings
+from repro.timeloop.model import NetworkPerformance, as_spec
 from repro.utils.rng import SeedLike, make_rng
 from repro.workloads.networks import Network
 
@@ -56,12 +57,14 @@ class FixedHardwareMapperSearcher:
 
     def __init__(self, network: Network,
                  settings: FixedHardwareSettings | None = None,
-                 hardware: HardwareConfig | None = None) -> None:
+                 hardware: HardwareConfig | None = None,
+                 n_workers: int | None = None) -> None:
         if hardware is None:
             raise TypeError("FixedHardwareMapperSearcher requires hardware=...")
         self.network = network
         self.settings = settings or FixedHardwareSettings()
         self.hardware = hardware
+        self.n_workers = n_workers
 
     def search(self, budget: SearchBudget | int | None = None,
                callbacks=None) -> SearchOutcome:
@@ -69,31 +72,33 @@ class FixedHardwareMapperSearcher:
         rng = make_rng(settings.seed)
         session = SearchSession("fixed_hw_random", budget=budget, callbacks=callbacks,
                                 settings=settings, network=self.network)
-        spec = GemminiSpec(self.hardware)
+        spec = as_spec(self.hardware)
         chosen: list[Mapping] = []
         per_layer = []
         total_latency = 0.0
         total_energy = 0.0
-        for layer in self.network.layers:
-            best_result = None
-            best_mapping = None
-            for _ in range(settings.mappings_per_layer):
-                if best_mapping is not None and session.exhausted():
-                    break
-                mapping = random_mapping_for_hardware(layer, self.hardware, seed=rng,
-                                                      max_attempts=10)
-                if mapping is None:
-                    mapping = random_mapping(layer, seed=rng,
-                                             max_spatial=self.hardware.pe_dim)
-                result = evaluate_mapping(mapping, spec)
-                session.spend(1)
-                if best_result is None or result.edp < best_result.edp:
-                    best_result = result
-                    best_mapping = mapping
-            chosen.append(best_mapping)
-            per_layer.append(best_result)
-            total_latency += best_result.latency_cycles * layer.repeats
-            total_energy += best_result.energy * layer.repeats
+        with EvaluationEngine(n_workers=self.n_workers) as engine:
+            for layer in self.network.layers:
+
+                def generate(layer=layer):
+                    mapping = random_mapping_for_hardware(
+                        layer, self.hardware, seed=rng, max_attempts=10)
+                    if mapping is None:
+                        # Fall back to the best mapping regardless of fit
+                        # (pessimistic but keeps the comparison defined).
+                        mapping = random_mapping(layer, seed=rng,
+                                                 max_spatial=self.hardware.pe_dim)
+                    return mapping
+
+                best_mapping, best_result = best_of_random_mappings(
+                    session, engine, spec,
+                    attempts=settings.mappings_per_layer,
+                    generate=generate,
+                )
+                chosen.append(best_mapping)
+                per_layer.append(best_result)
+                total_latency += best_result.latency_cycles * layer.repeats
+                total_energy += best_result.energy * layer.repeats
         session.offer(CandidateDesign(
             hardware=self.hardware,
             mappings=chosen,

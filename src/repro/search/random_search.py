@@ -5,6 +5,11 @@ designs, and for each design samples a number of random valid mappings per
 layer, keeping the best mapping per layer.  Every reference-model evaluation
 counts as one sample, making the traces directly comparable to DOSA's.
 
+Reference evaluations run through the :class:`~repro.eval.engine
+.EvaluationEngine` (per-design candidate batches are vectorized, exact
+repeats are served from cache, and ``n_workers`` enables a process pool);
+sample accounting and seeded candidate selection are unchanged.
+
 Registered as strategy ``"random"`` in the unified search API.
 """
 
@@ -13,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.arch.config import random_hardware_config
-from repro.arch.gemmini import GemminiSpec
+from repro.eval.engine import EvaluationEngine
 from repro.mapping.mapping import Mapping
 from repro.mapping.random_mapper import random_mapping_for_hardware
 from repro.search.api import (
@@ -23,7 +28,8 @@ from repro.search.api import (
     SearchSession,
     register_searcher,
 )
-from repro.timeloop.model import NetworkPerformance, PerformanceResult, evaluate_mapping
+from repro.search.batching import best_of_random_mappings
+from repro.timeloop.model import NetworkPerformance, PerformanceResult, as_spec
 from repro.utils.rng import SeedLike, make_rng
 from repro.workloads.networks import Network
 
@@ -47,9 +53,11 @@ class RandomSearcher:
 
     settings_type = RandomSearchSettings
 
-    def __init__(self, network: Network, settings: RandomSearchSettings | None = None) -> None:
+    def __init__(self, network: Network, settings: RandomSearchSettings | None = None,
+                 n_workers: int | None = None) -> None:
         self.network = network
         self.settings = settings or RandomSearchSettings()
+        self.n_workers = n_workers
 
     def search(self, budget: SearchBudget | int | None = None,
                callbacks=None) -> SearchOutcome:
@@ -58,50 +66,40 @@ class RandomSearcher:
         session = SearchSession("random", budget=budget, callbacks=callbacks,
                                 settings=settings, network=self.network)
 
-        for _ in range(settings.num_hardware_designs):
-            if session.exhausted():
-                break
-            hardware = random_hardware_config(seed=rng)
-            spec = GemminiSpec(hardware)
-            chosen: list[Mapping] = []
-            per_layer: list[PerformanceResult] = []
-            total_latency = 0.0
-            total_energy = 0.0
-            feasible = True
-            for layer in self.network.layers:
-                best_layer = None
-                best_layer_result = None
-                for _ in range(settings.mappings_per_layer):
-                    # Honor the budget, but keep the first design feasible:
-                    # every layer gets at least one evaluated mapping.
-                    if session.exhausted() and (best_layer is not None
-                                                or session.best is not None):
-                        break
-                    mapping = random_mapping_for_hardware(layer, hardware, seed=rng,
-                                                          max_attempts=20)
-                    if mapping is None:
-                        continue
-                    result = evaluate_mapping(mapping, spec)
-                    session.spend(1)
-                    if best_layer_result is None or result.edp < best_layer_result.edp:
-                        best_layer_result = result
-                        best_layer = mapping
-                if best_layer is None:
-                    feasible = False
+        with EvaluationEngine(n_workers=self.n_workers) as engine:
+            for _ in range(settings.num_hardware_designs):
+                if session.exhausted():
                     break
-                chosen.append(best_layer)
-                per_layer.append(best_layer_result)
-                total_latency += best_layer_result.latency_cycles * layer.repeats
-                total_energy += best_layer_result.energy * layer.repeats
-            if not feasible:
-                session.checkpoint()
-                continue
-            session.offer(CandidateDesign(
-                hardware=hardware,
-                mappings=chosen,
-                performance=NetworkPerformance(total_latency=total_latency,
-                                               total_energy=total_energy,
-                                               per_layer=tuple(per_layer)),
-            ))
+                hardware = random_hardware_config(seed=rng)
+                spec = as_spec(hardware)
+                chosen: list[Mapping] = []
+                per_layer: list[PerformanceResult] = []
+                total_latency = 0.0
+                total_energy = 0.0
+                feasible = True
+                for layer in self.network.layers:
+                    best_layer, best_layer_result = best_of_random_mappings(
+                        session, engine, spec,
+                        attempts=settings.mappings_per_layer,
+                        generate=lambda layer=layer: random_mapping_for_hardware(
+                            layer, hardware, seed=rng, max_attempts=20),
+                    )
+                    if best_layer is None:
+                        feasible = False
+                        break
+                    chosen.append(best_layer)
+                    per_layer.append(best_layer_result)
+                    total_latency += best_layer_result.latency_cycles * layer.repeats
+                    total_energy += best_layer_result.energy * layer.repeats
+                if not feasible:
+                    session.checkpoint()
+                    continue
+                session.offer(CandidateDesign(
+                    hardware=hardware,
+                    mappings=chosen,
+                    performance=NetworkPerformance(total_latency=total_latency,
+                                                   total_energy=total_energy,
+                                                   per_layer=tuple(per_layer)),
+                ))
 
         return session.finish()

@@ -22,6 +22,7 @@ from repro.timeloop.loopnest import (
 )
 from repro.timeloop.model import (
     PerformanceResult,
+    as_spec,
     evaluate_mapping,
     evaluate_network_mappings,
     NetworkPerformance,
@@ -34,6 +35,7 @@ __all__ = [
     "reload_factor",
     "tile_words",
     "PerformanceResult",
+    "as_spec",
     "evaluate_mapping",
     "evaluate_network_mappings",
     "NetworkPerformance",

@@ -12,14 +12,32 @@ repetition count.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
-from repro.arch.components import MEMORY_LEVEL_INDICES
+from repro.arch.components import MEMORY_LEVELS, MEMORY_LEVEL_INDICES
 from repro.arch.config import HardwareConfig
 from repro.arch.gemmini import GemminiSpec
 from repro.mapping.constraints import validate_mapping
 from repro.mapping.mapping import Mapping
 from repro.timeloop.accelergy import energy_breakdown
 from repro.timeloop.loopnest import TrafficBreakdown, analyze_traffic
+
+
+@lru_cache(maxsize=1024)
+def _spec_for_config(config: HardwareConfig) -> GemminiSpec:
+    return GemminiSpec(config)
+
+
+def as_spec(spec: GemminiSpec | HardwareConfig) -> GemminiSpec:
+    """Resolve a spec-or-config argument to a :class:`GemminiSpec` once.
+
+    Search strategies evaluate thousands of mappings per hardware design;
+    memoizing the config-to-spec wrap keeps that re-wrap out of the per-call
+    hot path (configs are frozen and hashable, so reuse is exact).
+    """
+    if isinstance(spec, HardwareConfig):
+        return _spec_for_config(spec)
+    return spec
 
 
 @dataclass(frozen=True)
@@ -63,8 +81,7 @@ def evaluate_mapping(
     (it does *not* check that the mapping fits the hardware — the mapping-first
     flow derives hardware from mappings, so capacity is a derived quantity).
     """
-    if isinstance(spec, HardwareConfig):
-        spec = GemminiSpec(spec)
+    spec = as_spec(spec)
     if check_validity:
         problems = validate_mapping(mapping)
         if problems:
@@ -80,10 +97,16 @@ def _result_from_traffic(
 ) -> PerformanceResult:
     parallelism = max(mapping.spatial_product(), 1.0)
     compute_latency = traffic.macs / parallelism
-    memory_latency = {
-        level: traffic.accesses(level) / spec.bandwidth(level)
-        for level in MEMORY_LEVEL_INDICES
-    }
+    memory_latency = {}
+    for level in MEMORY_LEVEL_INDICES:
+        bandwidth = spec.bandwidth(level)
+        if not bandwidth > 0.0:
+            raise ValueError(
+                f"cannot compute memory latency: level {level} "
+                f"({MEMORY_LEVELS[level].name}) has non-positive bandwidth "
+                f"{bandwidth!r} words/cycle"
+            )
+        memory_latency[level] = traffic.accesses(level) / bandwidth
     latency = max(compute_latency, max(memory_latency.values()))
     energy = energy_breakdown(traffic, spec).total
     return PerformanceResult(
@@ -119,8 +142,7 @@ def evaluate_network_mappings(
     Each layer's energy and latency are multiplied by its repetition count
     before summation, then EDP = (sum of energies) x (sum of latencies).
     """
-    if isinstance(spec, HardwareConfig):
-        spec = GemminiSpec(spec)
+    spec = as_spec(spec)
     if not mappings:
         raise ValueError("evaluate_network_mappings requires at least one mapping")
     results = [evaluate_mapping(m, spec, check_validity=check_validity) for m in mappings]

@@ -16,7 +16,7 @@ from repro.core.dmodel import (
 )
 from repro.core.dmodel.loss import best_ordering_per_layer, ordering_candidates
 from repro.mapping import LoopOrdering, cosa_mapping, random_mapping
-from repro.timeloop import evaluate_mapping
+from repro.timeloop import analyze_traffic, evaluate_mapping
 from repro.workloads import LayerDims, conv2d_layer, matmul_layer
 from repro.workloads.registry import correlation_layer_pool
 
@@ -130,6 +130,35 @@ class TestCorrelationWithReference:
         assert _relative_error(float(performance.latency.data), reference.latency_cycles) < 0.02
         # Energy differs only through DRAM block rounding, small for real layers.
         assert _relative_error(float(performance.energy.data), reference.energy) < 0.15
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_traffic_parity_with_reference_walk(self, seed):
+        """Per-level traffic parity on integral mappings (ceiling slack only).
+
+        Property test for the ``seen_relevant`` / near-1-factor skip in
+        ``DifferentiableModel.reload_factor``: on integral mappings with
+        randomized loop orderings, every level's access count must agree with
+        the reference walk in :func:`analyze_traffic` up to the reference
+        path's ceiling semantics (integer tile extents), which only ever
+        *increase* the reference counts and only slightly for real layers.
+        """
+        rng = np.random.default_rng(seed)
+        pool = correlation_layer_pool()
+        layer = pool[int(rng.integers(len(pool)))]
+        mapping = random_mapping(layer, seed=rng, max_spatial=32)
+        assert mapping.is_integral()
+
+        reference = analyze_traffic(mapping)
+        factors = LayerFactors.from_mapping(mapping)
+        accesses = DifferentiableModel.traffic(factors, factors.factor_grid())
+
+        for level, reference_accesses in reference.per_level_accesses().items():
+            model_accesses = float(accesses[level].data)
+            # Ceiling slack: the reference rounds tile extents up, so it may
+            # exceed the smooth model, never meaningfully the other way.
+            assert model_accesses <= reference_accesses * (1 + 1e-6), level
+            assert _relative_error(model_accesses, reference_accesses) < 0.05, level
 
 
 class TestGradients:

@@ -1,0 +1,295 @@
+"""Tests for the evaluation engine: cache, batch parity, parallelism, fixes."""
+
+import numpy as np
+import pytest
+
+from repro.arch import GemminiSpec, HardwareConfig
+from repro.eval import (
+    EvaluationCache,
+    EvaluationEngine,
+    ParallelEvaluator,
+    batch_analyze_traffic,
+    evaluate_mappings_batched,
+    mapping_fingerprint,
+)
+from repro.mapping import cosa_mapping, round_mapping
+from repro.mapping.mapping import identity_mapping
+from repro.mapping.random_mapper import random_mapping
+from repro.search.api import optimize
+from repro.search.gp import GaussianProcessRegressor, expected_improvement
+from repro.timeloop import analyze_traffic, evaluate_mapping, evaluate_network_mappings
+from repro.workloads import conv2d_layer, get_network, matmul_layer
+from repro.workloads.networks import Network
+
+HARDWARE = HardwareConfig(16, 32, 128)
+SPEC = GemminiSpec(HARDWARE)
+
+# Layers spanning the interesting shapes: strided conv, 1x1 conv, matmul,
+# single-input-channel (depthwise-style) conv, tiny and batch > 1 cases.
+CORPUS_LAYERS = [
+    conv2d_layer(64, 128, 28, kernel_size=3, stride=2, name="conv_s2"),
+    conv2d_layer(32, 64, 14, kernel_size=1, name="conv_1x1"),
+    conv2d_layer(1, 96, 56, kernel_size=3, name="depthwise_ish"),
+    matmul_layer(512, 768, 768, name="fc"),
+    matmul_layer(128, 128, 128, batch=4, name="batched_fc"),
+    conv2d_layer(3, 64, 112, kernel_size=7, stride=2, name="stem"),
+]
+
+
+def random_corpus(count: int, seed: int = 0, max_spatial: int = 32):
+    rng = np.random.default_rng(seed)
+    return [random_mapping(CORPUS_LAYERS[i % len(CORPUS_LAYERS)], seed=rng,
+                           max_spatial=max_spatial)
+            for i in range(count)]
+
+
+class TestEvaluationCache:
+    def test_hit_returns_identical_result_and_counts(self):
+        cache = EvaluationCache()
+        mapping = cosa_mapping(CORPUS_LAYERS[0], HARDWARE)
+        first = cache.evaluate(mapping, SPEC)
+        second = cache.evaluate(mapping.copy(), SPEC)  # equal but distinct object
+        assert second is first
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+        assert cache.stats.hit_rate == 0.5
+        assert len(cache) == 1
+
+    def test_key_distinguishes_hardware_and_factors(self):
+        cache = EvaluationCache()
+        mapping = cosa_mapping(CORPUS_LAYERS[0], HARDWARE)
+        cache.evaluate(mapping, SPEC)
+        cache.evaluate(mapping, GemminiSpec(HardwareConfig(32, 64, 256)))
+        other = mapping.copy()
+        other.temporal[3, 0] *= 1.0  # unchanged -> same fingerprint
+        assert mapping_fingerprint(other) == mapping_fingerprint(mapping)
+        assert cache.stats.misses == 2
+
+    def test_fingerprint_ignores_name_and_repeats(self):
+        layer = CORPUS_LAYERS[1]
+        renamed = layer.with_repeats(7)
+        a = cosa_mapping(layer, HARDWARE)
+        b = cosa_mapping(renamed, HARDWARE)
+        assert mapping_fingerprint(a) == mapping_fingerprint(b)
+
+    def test_lru_eviction(self):
+        cache = EvaluationCache(max_entries=2)
+        mappings = [cosa_mapping(layer, HARDWARE) for layer in CORPUS_LAYERS[:3]]
+        for mapping in mappings:
+            cache.evaluate(mapping, SPEC)
+        assert len(cache) == 2
+        assert cache.stats.evictions == 1
+        # The oldest entry was evicted; re-evaluating it is a miss.
+        cache.evaluate(mappings[0], SPEC)
+        assert cache.stats.misses == 4
+
+    def test_rejects_bad_max_entries(self):
+        with pytest.raises(ValueError):
+            EvaluationCache(max_entries=0)
+
+
+class TestBatchParityWithReference:
+    """The acceptance bar: bit-identical per-level counts on a random corpus."""
+
+    def test_per_level_accesses_bit_identical(self):
+        corpus = random_corpus(120, seed=1)
+        batch = batch_analyze_traffic(corpus)
+        per_level = batch.per_level_accesses()
+        for index, mapping in enumerate(corpus):
+            reference = analyze_traffic(mapping)
+            for position, level in enumerate(sorted(reference.per_level_accesses())):
+                assert per_level[index, position] == reference.accesses(level)
+
+    def test_full_breakdown_tables_bit_identical(self):
+        corpus = random_corpus(60, seed=2)
+        batch = batch_analyze_traffic(corpus)
+        for index, mapping in enumerate(corpus):
+            reference = analyze_traffic(mapping)
+            extracted = batch.breakdown(index)
+            assert extracted.macs == reference.macs
+            assert extracted.reads == reference.reads
+            assert extracted.writes == reference.writes
+            assert extracted.updates == reference.updates
+
+    def test_results_bit_identical_to_scalar_path(self):
+        corpus = random_corpus(60, seed=3)
+        batched = evaluate_mappings_batched(corpus, SPEC)
+        for mapping, result in zip(corpus, batched):
+            scalar = evaluate_mapping(mapping, SPEC)
+            assert result.latency_cycles == scalar.latency_cycles
+            assert result.energy == scalar.energy
+            assert result.compute_latency == scalar.compute_latency
+            assert result.memory_latency == scalar.memory_latency
+            assert result.accesses == scalar.accesses
+            assert result.macs == scalar.macs
+
+    def test_empty_batch(self):
+        assert evaluate_mappings_batched([], SPEC) == []
+
+    def test_invalid_mapping_raises_scalar_message(self):
+        bad = identity_mapping(CORPUS_LAYERS[0])
+        bad.temporal[0, 0] = 3.0  # factor product no longer matches the layer
+        with pytest.raises(ValueError) as batch_error:
+            evaluate_mappings_batched([bad], SPEC)
+        with pytest.raises(ValueError) as scalar_error:
+            evaluate_mapping(bad, SPEC)
+        assert str(batch_error.value) == str(scalar_error.value)
+
+    def test_accepts_hardware_config_argument(self):
+        corpus = random_corpus(4, seed=4)
+        assert (evaluate_mappings_batched(corpus, HARDWARE)[0].edp
+                == evaluate_mapping(corpus[0], SPEC).edp)
+
+
+class TestParallelEvaluator:
+    def test_results_match_serial(self):
+        corpus = random_corpus(40, seed=5)
+        serial = evaluate_mappings_batched(corpus, SPEC)
+        with ParallelEvaluator(n_workers=2, min_chunk_size=8) as pool:
+            parallel = pool.evaluate_many(corpus, SPEC)
+        assert len(parallel) == len(serial)
+        for a, b in zip(serial, parallel):
+            assert a.latency_cycles == b.latency_cycles
+            assert a.energy == b.energy
+            assert a.accesses == b.accesses
+
+    def test_small_batches_stay_in_process(self):
+        corpus = random_corpus(4, seed=6)
+        pool = ParallelEvaluator(n_workers=2, min_chunk_size=16)
+        try:
+            results = pool.evaluate_many(corpus, SPEC)
+            assert pool._executor is None  # never spawned
+            assert results[0].edp == evaluate_mapping(corpus[0], SPEC).edp
+        finally:
+            pool.close()
+
+    def test_rejects_bad_worker_count(self):
+        with pytest.raises(ValueError):
+            ParallelEvaluator(n_workers=0)
+
+
+class TestEvaluationEngine:
+    def test_in_batch_duplicates_are_hits(self):
+        corpus = random_corpus(10, seed=7)
+        engine = EvaluationEngine()
+        results = engine.evaluate_many(corpus + corpus, SPEC)
+        assert engine.stats.misses == 10
+        assert engine.stats.hits == 10
+        for a, b in zip(results[:10], results[10:]):
+            assert a is b
+
+    def test_cross_batch_cache_reuse(self):
+        corpus = random_corpus(6, seed=8)
+        engine = EvaluationEngine()
+        first = engine.evaluate_many(corpus, SPEC)
+        second = engine.evaluate_many(corpus, SPEC)
+        assert engine.stats.hits == 6
+        assert all(a is b for a, b in zip(first, second))
+
+    def test_single_evaluate_shares_cache_with_batches(self):
+        corpus = random_corpus(3, seed=9)
+        engine = EvaluationEngine()
+        engine.evaluate_many(corpus, SPEC)
+        assert engine.evaluate(corpus[1], SPEC) is not None
+        assert engine.stats.hits == 1
+
+    def test_evaluate_network_matches_scalar_helper(self):
+        network = get_network("bert")
+        mappings = [cosa_mapping(layer, HARDWARE) for layer in network.layers]
+        engine = EvaluationEngine()
+        composed = engine.evaluate_network(mappings, SPEC)
+        reference = evaluate_network_mappings(mappings, SPEC)
+        assert composed.total_latency == reference.total_latency
+        assert composed.total_energy == reference.total_energy
+        assert composed.edp == reference.edp
+
+    def test_evaluate_network_requires_mappings(self):
+        with pytest.raises(ValueError):
+            EvaluationEngine().evaluate_network([], SPEC)
+
+    def test_parallel_engine_results_identical(self):
+        corpus = random_corpus(80, seed=10)
+        serial = EvaluationEngine().evaluate_many(corpus, SPEC)
+        with EvaluationEngine(n_workers=2) as engine:
+            parallel = engine.evaluate_many(corpus, SPEC)
+        for a, b in zip(serial, parallel):
+            assert a.latency_cycles == b.latency_cycles
+            assert a.energy == b.energy
+
+
+class TestSearchersThroughEngine:
+    def tiny_network(self):
+        return Network(name="tiny", layers=[
+            conv2d_layer(16, 32, 7, name="conv"),
+            matmul_layer(32, 64, 64, name="fc"),
+        ])
+
+    def test_optimize_accepts_n_workers(self):
+        outcome = optimize(self.tiny_network(), "random", budget=40, seed=0,
+                           n_workers=2)
+        assert outcome.best_edp > 0
+        assert outcome.total_samples <= 40 + 2
+
+    def test_n_workers_does_not_change_the_outcome(self):
+        from repro.search import RandomSearchSettings
+
+        settings = lambda: RandomSearchSettings(num_hardware_designs=2,
+                                                mappings_per_layer=30, seed=3)
+        serial = optimize(self.tiny_network(), "random", settings=settings())
+        pooled = optimize(self.tiny_network(), "random", settings=settings(),
+                          n_workers=2)
+        assert pooled.best_edp == serial.best_edp
+        assert pooled.trace.as_pairs() == serial.trace.as_pairs()
+
+
+class TestZeroBandwidthValidation:
+    def test_descriptive_error_names_the_level(self):
+        class BrokenSpec(GemminiSpec):
+            def bandwidth(self, level):
+                return 0.0 if level == 2 else super().bandwidth(level)
+
+        mapping = cosa_mapping(CORPUS_LAYERS[0], HARDWARE)
+        with pytest.raises(ValueError, match=r"level 2 \(scratchpad\).*bandwidth"):
+            evaluate_mapping(mapping, BrokenSpec(HARDWARE))
+
+
+class TestRoundingMaxSpatial:
+    def test_fractional_cap_rounds_to_nearest(self):
+        layer = conv2d_layer(64, 64, 14, name="conv")
+        mapping = identity_mapping(layer)
+        mapping.temporal[3, 4] = 1.0   # C moved off DRAM...
+        mapping.spatial[1, 4] = 16.0   # ...onto the spatial position
+        # A mesh bound of 15.9999999 (float noise on 16) must not truncate
+        # the spatial factor down to the divisor 8.
+        rounded = round_mapping(mapping, max_spatial=15.9999999)
+        assert rounded.spatial_factor(1, "C") == 16.0
+
+    def test_integer_caps_unchanged(self):
+        layer = conv2d_layer(64, 64, 14, name="conv")
+        mapping = identity_mapping(layer)
+        mapping.temporal[3, 4] = 1.0
+        mapping.spatial[1, 4] = 16.0
+        rounded = round_mapping(mapping, max_spatial=8)
+        assert rounded.spatial_factor(1, "C") <= 8.0
+
+    def test_cap_below_one_rejected(self):
+        layer = conv2d_layer(8, 8, 4, name="conv")
+        with pytest.raises(ValueError, match="max_spatial"):
+            round_mapping(identity_mapping(layer), max_spatial=0.5)
+
+
+class TestGpVarianceClamp:
+    def test_near_duplicate_training_points_keep_std_finite(self):
+        # Near-duplicate rows drive the Cholesky-solved posterior variance
+        # slightly negative at the training points; the clamp must keep the
+        # std (and expected improvement) finite instead of NaN.
+        rng = np.random.default_rng(0)
+        base = rng.normal(size=(12, 3))
+        features = np.vstack([base, base + 1e-12])
+        targets = np.concatenate([base.sum(axis=1), base.sum(axis=1)])
+        gp = GaussianProcessRegressor(noise=1e-6).fit(features, targets)
+        mean, std = gp.predict(features, return_std=True)
+        assert np.all(np.isfinite(std))
+        assert np.all(std >= 0.0)
+        ei = expected_improvement(mean, std, best=float(targets.min()))
+        assert np.all(np.isfinite(ei))
+        assert np.all(ei >= 0.0)
