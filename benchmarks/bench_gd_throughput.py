@@ -1,0 +1,186 @@
+"""GD inner-loop throughput: per-layer vs layer-batched vs batched + tape.
+
+The DOSA search spends essentially its whole budget in the gradient-descent
+inner loop (``gd_steps x num_start_points`` steps of loss forward/backward +
+Adam).  This module measures that loop in steps/second for the three
+implementations of the differentiable model:
+
+* **per-layer** — one scalar-node graph per layer, re-traced every step (the
+  seed implementation, ``DosaSettings(batched_model=False)``),
+* **batched** — the :class:`~repro.core.dmodel.factors.NetworkFactors`
+  layer-batched model: one array-op graph per network, re-traced every step
+  (``batched_model=True, use_tape=False``),
+* **batched + tape** — the same graph compiled once into a
+  :class:`~repro.autodiff.tape.Tape` and replayed
+  (``batched_model=True, use_tape=True`` — the default).
+
+Besides the pytest-benchmark entries, the module runs standalone as the CI
+smoke check for the GD path::
+
+    PYTHONPATH=src python benchmarks/bench_gd_throughput.py --quick
+
+which verifies the three implementations produce bit-identical losses from
+the same start point on a ResNet-style workload and fails (non-zero exit) if
+the batched + tape loop is less than 3x the per-layer steps/second.
+"""
+
+import argparse
+import sys
+import time
+
+from repro.arch import HardwareConfig
+from repro.autodiff import Adam, Tape
+from repro.core.dmodel import (
+    DifferentiableModel,
+    LayerFactors,
+    NetworkFactors,
+    network_edp_loss,
+    validity_penalty,
+)
+from repro.mapping import cosa_mapping
+from repro.workloads import get_network
+
+CONFIG = HardwareConfig(16, 32, 128)
+PENALTY_WEIGHT = 1e9
+LEARNING_RATE = 0.05
+SPEEDUP_BAR = 3.0
+
+
+def _start_mappings(workload: str):
+    network = get_network(workload)
+    repeats = [layer.repeats for layer in network.layers]
+    return [cosa_mapping(layer, CONFIG) for layer in network.layers], repeats
+
+
+def make_per_layer_stepper(mappings, repeats):
+    """The seed inner loop: per-layer graphs, re-traced every step."""
+    factors = [LayerFactors.from_mapping(m) for m in mappings]
+    optimizer = Adam([p for f in factors for p in f.parameters()], lr=LEARNING_RATE)
+
+    def step() -> float:
+        optimizer.zero_grad()
+        hardware = DifferentiableModel.derive_hardware(factors)
+        performances = DifferentiableModel.evaluate_network(factors, hardware)
+        loss = (network_edp_loss(performances, repeats)
+                + PENALTY_WEIGHT * validity_penalty(factors))
+        loss.backward()
+        optimizer.step()
+        return float(loss.data)
+
+    return step
+
+
+def make_batched_stepper(mappings, repeats, use_tape: bool):
+    """The layer-batched inner loop, optionally replaying a compiled tape."""
+    factors = NetworkFactors.from_mappings(mappings)
+    optimizer = Adam(factors.parameters(), lr=LEARNING_RATE, fused=True)
+
+    def build_loss():
+        grid = factors.factor_grid()
+        hardware = DifferentiableModel.derive_hardware(factors, grid=grid)
+        performances = DifferentiableModel.evaluate_network(factors, hardware,
+                                                            grid=grid)
+        return (network_edp_loss(performances, repeats)
+                + PENALTY_WEIGHT * validity_penalty(factors, grid=grid))
+
+    tape = Tape(build_loss) if use_tape else None
+
+    def step() -> float:
+        optimizer.zero_grad()
+        if tape is not None:
+            loss = tape.forward()
+            tape.backward()
+        else:
+            loss = build_loss()
+            loss.backward()
+        optimizer.step()
+        return float(loss.data)
+
+    return step
+
+
+def measure_steps_per_second(step, steps: int, warmup: int = 1) -> float:
+    for _ in range(warmup):
+        step()
+    start = time.perf_counter()
+    for _ in range(steps):
+        step()
+    return steps / (time.perf_counter() - start)
+
+
+# --------------------------------------------------------------------------- #
+# pytest-benchmark entries
+# --------------------------------------------------------------------------- #
+def test_gd_step_per_layer(benchmark):
+    mappings, repeats = _start_mappings("bert")
+    step = make_per_layer_stepper(mappings, repeats)
+    assert benchmark(step) > 0
+
+
+def test_gd_step_batched(benchmark):
+    mappings, repeats = _start_mappings("bert")
+    step = make_batched_stepper(mappings, repeats, use_tape=False)
+    assert benchmark(step) > 0
+
+
+def test_gd_step_batched_tape(benchmark):
+    mappings, repeats = _start_mappings("bert")
+    step = make_batched_stepper(mappings, repeats, use_tape=True)
+    assert benchmark(step) > 0
+
+
+# --------------------------------------------------------------------------- #
+# Standalone quick benchmark (CI smoke)
+# --------------------------------------------------------------------------- #
+def run_quick(workload: str = "resnet50", per_layer_steps: int = 10,
+              batched_steps: int = 60) -> int:
+    mappings, repeats = _start_mappings(workload)
+    layer_count = len(mappings)
+
+    # Correctness smoke: the three loops produce bit-identical first losses.
+    first_losses = {
+        "per-layer": make_per_layer_stepper(mappings, repeats)(),
+        "batched": make_batched_stepper(mappings, repeats, use_tape=False)(),
+        "batched+tape": make_batched_stepper(mappings, repeats, use_tape=True)(),
+    }
+    if len(set(first_losses.values())) != 1:
+        print(f"FAIL: first-step losses disagree: {first_losses}")
+        return 1
+    print(f"{workload}: {layer_count} unique layers, first GD loss "
+          f"{first_losses['per-layer']:.6e} (bit-identical across all three loops)")
+
+    per_layer = measure_steps_per_second(
+        make_per_layer_stepper(mappings, repeats), per_layer_steps)
+    batched = measure_steps_per_second(
+        make_batched_stepper(mappings, repeats, use_tape=False), batched_steps)
+    taped = measure_steps_per_second(
+        make_batched_stepper(mappings, repeats, use_tape=True), batched_steps)
+
+    print(f"per-layer     : {per_layer:8.1f} steps/s")
+    print(f"batched       : {batched:8.1f} steps/s ({batched / per_layer:.1f}x)")
+    print(f"batched + tape: {taped:8.1f} steps/s ({taped / per_layer:.1f}x)")
+
+    if taped < SPEEDUP_BAR * per_layer:
+        print(f"FAIL: batched+tape speedup {taped / per_layer:.2f}x is below "
+              f"the {SPEEDUP_BAR:.0f}x bar")
+        return 1
+    print(f"OK: batched+tape is {taped / per_layer:.1f}x the per-layer inner "
+          f"loop (bar: {SPEEDUP_BAR:.0f}x)")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="run the standalone smoke benchmark and enforce "
+                             f"the {SPEEDUP_BAR:.0f}x speedup bar")
+    parser.add_argument("--workload", default="resnet50",
+                        help="workload for --quick (default: resnet50)")
+    args = parser.parse_args(argv)
+    if not args.quick:
+        parser.error("run under pytest-benchmark, or pass --quick")
+    return run_quick(workload=args.workload)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,8 +8,10 @@ type defined here.  It provides:
 * ``Tensor`` — an array wrapper recording a dynamic computation graph and
   supporting broadcasting-aware reverse-mode backpropagation,
 * ``ops`` — a functional library (exp, log, power, maximum, softmax,
-  reductions, matmul, stacking, clamping, ...),
-* ``optim`` — SGD and Adam optimizers,
+  reductions, matmul, stacking, clamping, fused fold/reload reductions ...),
+* ``optim`` — SGD and Adam optimizers (Adam with a fused in-place path),
+* ``tape`` — compiled-tape replay of a traced graph (re-trace once per
+  structural change instead of once per step),
 * ``nn`` — a minimal neural-network layer library (Linear, MLP, losses),
 * ``gradcheck`` — finite-difference gradient verification used by the tests.
 """
@@ -36,6 +38,7 @@ from repro.autodiff.ops import (
     mean,
 )
 from repro.autodiff.optim import SGD, Adam, Optimizer
+from repro.autodiff.tape import Tape, TapeError
 from repro.autodiff import nn
 from repro.autodiff.gradcheck import numeric_gradient, check_gradients
 
@@ -64,6 +67,8 @@ __all__ = [
     "SGD",
     "Adam",
     "Optimizer",
+    "Tape",
+    "TapeError",
     "numeric_gradient",
     "check_gradients",
 ]

@@ -4,6 +4,14 @@ These are the building blocks of the DOSA differentiable model: products of
 tiling factors, smooth maxima for the roofline latency, the softmax used for
 gradient-based loop-ordering (paper Section 5.2.2), and the hinge penalty used
 to keep tiling factors valid (Equation 18).
+
+Every op records a forward-recompute closure (see
+:mod:`repro.autodiff.tensor`), so graphs built from these functions can be
+replayed by :class:`repro.autodiff.tape.Tape` without re-tracing.  The two
+fused reductions at the bottom — :func:`fold_max` and :func:`reload_product` —
+replace long chains of scalar nodes in the layer-batched DOSA model with a
+single array node each, while reproducing the chained ops' values and
+(sub)gradients exactly.
 """
 
 from __future__ import annotations
@@ -38,50 +46,59 @@ def sqrt(x: TensorLike) -> Tensor:
 
 def relu(x: TensorLike) -> Tensor:
     x = _as_tensor(x)
-    mask = (x.data > 0).astype(np.float64)
-    out_data = x.data * mask
+
+    def forward():
+        return np.maximum(x.data, 0.0)
 
     def backward(grad: np.ndarray):
-        return ((x, grad * mask),)
+        return ((x, grad * (x.data > 0)),)
 
-    return x._make_child(out_data, (x,), backward)
+    return x._make_child(forward(), (x,), backward, forward)
 
 
 def sigmoid(x: TensorLike) -> Tensor:
     x = _as_tensor(x)
-    out_data = 1.0 / (1.0 + np.exp(-x.data))
+
+    def forward():
+        return 1.0 / (1.0 + np.exp(-x.data))
+
+    out = x._make_child(forward(), (x,), None, forward)
 
     def backward(grad: np.ndarray):
-        return ((x, grad * out_data * (1.0 - out_data)),)
+        return ((x, grad * out.data * (1.0 - out.data)),)
 
-    return x._make_child(out_data, (x,), backward)
+    return out._set_backward(backward)
 
 
 def tanh(x: TensorLike) -> Tensor:
     x = _as_tensor(x)
-    out_data = np.tanh(x.data)
+
+    def forward():
+        return np.tanh(x.data)
+
+    out = x._make_child(forward(), (x,), None, forward)
 
     def backward(grad: np.ndarray):
-        return ((x, grad * (1.0 - out_data**2)),)
+        return ((x, grad * (1.0 - out.data**2)),)
 
-    return x._make_child(out_data, (x,), backward)
+    return out._set_backward(backward)
 
 
 def maximum(a: TensorLike, b: TensorLike) -> Tensor:
     """Elementwise maximum with subgradient split evenly at ties."""
     a = _as_tensor(a)
     b = _as_tensor(b)
-    out_data = np.maximum(a.data, b.data)
-    a_mask = (a.data > b.data).astype(np.float64)
-    b_mask = (b.data > a.data).astype(np.float64)
-    tie = (a.data == b.data).astype(np.float64) * 0.5
-    a_mask = a_mask + tie
-    b_mask = b_mask + tie
+
+    def forward():
+        return np.maximum(a.data, b.data)
 
     def backward(grad: np.ndarray):
+        tie = (a.data == b.data) * 0.5
+        a_mask = (a.data > b.data) + tie
+        b_mask = (b.data > a.data) + tie
         return ((a, grad * a_mask), (b, grad * b_mask))
 
-    return a._make_child(out_data, (a, b), backward)
+    return a._make_child(forward(), (a, b), backward, forward)
 
 
 def minimum(a: TensorLike, b: TensorLike) -> Tensor:
@@ -103,18 +120,24 @@ def where(condition: np.ndarray, a: TensorLike, b: TensorLike) -> Tensor:
     """Differentiable selection: ``a`` where ``condition`` is true, else ``b``.
 
     ``condition`` is a plain boolean array (no gradient flows through it).
+    The condition is captured statically, so this op is tape-replayable only
+    when the condition does not depend on values that change between replays;
+    for the value-dependent structural masks of the DOSA model use
+    :func:`reload_product`, which re-derives its masks every pass.
     """
     a = _as_tensor(a)
     b = _as_tensor(b)
     cond = np.asarray(condition, dtype=bool)
-    out_data = np.where(cond, a.data, b.data)
     a_mask = cond.astype(np.float64)
     b_mask = 1.0 - a_mask
+
+    def forward():
+        return np.where(cond, a.data, b.data)
 
     def backward(grad: np.ndarray):
         return ((a, grad * a_mask), (b, grad * b_mask))
 
-    return a._make_child(out_data, (a, b), backward)
+    return a._make_child(forward(), (a, b), backward, forward)
 
 
 def hinge_below(x: TensorLike, threshold: float = 1.0) -> Tensor:
@@ -160,13 +183,15 @@ def stack(values: Sequence[TensorLike]) -> Tensor:
     tensors = [_as_tensor(v) for v in values]
     if not tensors:
         raise ValueError("stack of an empty sequence")
-    out_data = np.stack([t.data for t in tensors])
     shapes = [t.data.shape for t in tensors]
+
+    def forward():
+        return np.stack([t.data for t in tensors])
 
     def backward(grad: np.ndarray):
         return tuple((t, grad[i].reshape(shapes[i])) for i, t in enumerate(tensors))
 
-    return tensors[0]._make_child(out_data, tuple(tensors), backward)
+    return tensors[0]._make_child(forward(), tuple(tensors), backward, forward)
 
 
 def concat(values: Sequence[TensorLike], axis: int = 0) -> Tensor:
@@ -174,9 +199,11 @@ def concat(values: Sequence[TensorLike], axis: int = 0) -> Tensor:
     tensors = [_as_tensor(v) for v in values]
     if not tensors:
         raise ValueError("concat of an empty sequence")
-    out_data = np.concatenate([t.data for t in tensors], axis=axis)
     sizes = [t.data.shape[axis] for t in tensors]
     boundaries = np.cumsum([0] + sizes)
+
+    def forward():
+        return np.concatenate([t.data for t in tensors], axis=axis)
 
     def backward(grad: np.ndarray):
         pieces = []
@@ -186,7 +213,7 @@ def concat(values: Sequence[TensorLike], axis: int = 0) -> Tensor:
             pieces.append((t, grad[tuple(index)]))
         return tuple(pieces)
 
-    return tensors[0]._make_child(out_data, tuple(tensors), backward)
+    return tensors[0]._make_child(forward(), tuple(tensors), backward, forward)
 
 
 def softmax(x: TensorLike, axis: int = -1) -> Tensor:
@@ -196,19 +223,27 @@ def softmax(x: TensorLike, axis: int = -1) -> Tensor:
     per-ordering energies/latencies by their inverse EDP.
     """
     x = _as_tensor(x)
-    shifted = x.data - x.data.max(axis=axis, keepdims=True)
-    exps = np.exp(shifted)
-    out_data = exps / exps.sum(axis=axis, keepdims=True)
+
+    def forward():
+        shifted = x.data - x.data.max(axis=axis, keepdims=True)
+        exps = np.exp(shifted)
+        return exps / exps.sum(axis=axis, keepdims=True)
+
+    out = x._make_child(forward(), (x,), None, forward)
 
     def backward(grad: np.ndarray):
-        dot = (grad * out_data).sum(axis=axis, keepdims=True)
-        return ((x, out_data * (grad - dot)),)
+        dot = (grad * out.data).sum(axis=axis, keepdims=True)
+        return ((x, out.data * (grad - dot)),)
 
-    return x._make_child(out_data, (x,), backward)
+    return out._set_backward(backward)
 
 
 def log_sum_exp(x: TensorLike, axis: int = -1) -> Tensor:
-    """Numerically stable log-sum-exp reduction along ``axis``."""
+    """Numerically stable log-sum-exp reduction along ``axis``.
+
+    Not tape-replayable: the stabilizing shift is captured as a constant at
+    trace time (the default DOSA model uses the exact max instead).
+    """
     x = _as_tensor(x)
     max_data = x.data.max(axis=axis, keepdims=True)
     shifted = x - Tensor(max_data)
@@ -233,3 +268,111 @@ def dot(a: Sequence[TensorLike] | Tensor, b: Sequence[TensorLike] | Tensor) -> T
     a_tensor = a if isinstance(a, Tensor) else stack(list(a))
     b_tensor = b if isinstance(b, Tensor) else stack(list(b))
     return (a_tensor * b_tensor).sum()
+
+
+# --------------------------------------------------------------------------- #
+# Fused reductions for the layer-batched DOSA model
+# --------------------------------------------------------------------------- #
+def fold_sum(x: TensorLike) -> Tensor:
+    """Left-fold sum over a 1-D tensor, as a single node.
+
+    Value-identical to chaining ``x[0] + x[1] + ...`` the way
+    :func:`total_sum` folds a Python list (NumPy's ``sum`` uses pairwise
+    summation, which rounds differently).  The backward pass broadcasts the
+    incoming gradient, which is order-independent.
+    """
+    x = _as_tensor(x)
+    if x.data.ndim != 1 or x.data.size == 0:
+        raise ValueError(f"fold_sum expects a non-empty 1-D tensor, got shape {x.shape}")
+
+    def forward():
+        return np.asarray(np.cumsum(x.data)[-1])
+
+    def backward(grad: np.ndarray):
+        grad_value = float(np.asarray(grad).reshape(-1)[0])
+        return ((x, np.full(x.data.size, grad_value)),)
+
+    return x._make_child(forward(), (x,), backward, forward)
+
+
+def fold_max(x: TensorLike) -> Tensor:
+    """Left-fold maximum over a 1-D tensor, as a single node.
+
+    Equivalent — in value *and* subgradient — to chaining
+    ``maximum(maximum(x[0], x[1]), x[2]) ...`` the way the per-layer hardware
+    derivation folds its candidates: at every pairwise tie the gradient splits
+    0.5/0.5, so earlier tied candidates receive geometrically smaller shares
+    (unlike :meth:`Tensor.max`, which splits evenly among *all* ties).
+    """
+    x = _as_tensor(x)
+    if x.data.ndim != 1:
+        raise ValueError(f"fold_max expects a 1-D tensor, got shape {x.shape}")
+
+    def forward():
+        return np.asarray(np.maximum.reduce(x.data))
+
+    def backward(grad: np.ndarray):
+        grad_value = float(np.asarray(grad).reshape(-1)[0])
+        data = x.data
+        n = data.size
+        if n == 1:
+            return ((x, np.full(1, grad_value)),)
+        running = np.maximum.accumulate(data)
+        prev, new = running[:-1], data[1:]
+        # Share of the gradient taken by each newcomer / kept by the running
+        # max at every fold step (ties split evenly, as in ops.maximum).
+        take = (new > prev) + 0.5 * (new == prev)
+        keep = 1.0 - take
+        suffix = np.ones(n)
+        np.multiply.accumulate(keep[::-1], out=suffix[-2::-1])
+        shares = np.empty(n)
+        shares[0] = suffix[0]
+        shares[1:] = take * suffix[1:]
+        return ((x, grad_value * shares),)
+
+    return x._make_child(forward(), (x,), backward, forward)
+
+
+def reload_product(walk: Tensor, relevant: np.ndarray, eps: float = 1e-9) -> Tensor:
+    """Loop-order-aware reload-factor product over a ``(B, positions)`` walk.
+
+    ``walk`` holds, per batch row, the temporal factors in walk order (levels
+    outward, innermost loop first within each level); ``relevant`` marks the
+    positions whose dimension is relevant to the tensor being analyzed.  A
+    position multiplies into the product iff its factor exceeds ``1 + eps``
+    and it is either relevant or preceded by an active relevant position —
+    exactly the ``seen_relevant`` state machine of
+    :func:`repro.timeloop.loopnest.reload_factor` and its differentiable
+    counterpart.  Excluded positions contribute a factor of exactly 1.0 and
+    receive zero gradient, matching the per-layer graph that simply omits
+    them.  The inclusion masks are re-derived from ``walk.data`` on every
+    forward/backward pass, so the op stays correct under tape replay while
+    the graph wiring remains static.
+    """
+    relevant = np.asarray(relevant, dtype=bool)
+    if walk.data.shape != relevant.shape:
+        raise ValueError(
+            f"walk/relevant shape mismatch: {walk.data.shape} vs {relevant.shape}")
+
+    def include_mask() -> np.ndarray:
+        active = walk.data > 1.0 + eps
+        relevant_active = active & relevant
+        seen_before = (np.cumsum(relevant_active, axis=1) - relevant_active) > 0
+        return active & (relevant | seen_before)
+
+    def forward():
+        gated = np.where(include_mask(), walk.data, 1.0)
+        return np.multiply.reduce(gated, axis=1)
+
+    def backward(grad: np.ndarray):
+        include = include_mask()
+        gated = np.where(include, walk.data, 1.0)
+        prefix = np.ones_like(gated)
+        suffix = np.ones_like(gated)
+        if gated.shape[1] > 1:
+            np.multiply.accumulate(gated[:, :-1], axis=1, out=prefix[:, 1:])
+            np.multiply.accumulate(gated[:, :0:-1], axis=1, out=suffix[:, -2::-1])
+        partials = grad[:, None] * prefix * suffix
+        return ((walk, np.where(include, partials, 0.0)),)
+
+    return walk._make_child(forward(), (walk,), backward, forward)

@@ -26,7 +26,11 @@ class Optimizer:
                 raise ValueError("all optimized parameters must require grad")
 
     def zero_grad(self) -> None:
-        """Clear accumulated gradients on every parameter."""
+        """Drop every parameter's gradient to ``None`` (torch semantics).
+
+        No zero arrays are allocated: ``backward`` initializes each gradient
+        on its first accumulation, so clearing costs nothing per step.
+        """
         for parameter in self.parameters:
             parameter.zero_grad()
 
@@ -60,7 +64,17 @@ class SGD(Optimizer):
 
 
 class Adam(Optimizer):
-    """Adam optimizer (Kingma & Ba, 2015) — the descent algorithm used by DOSA."""
+    """Adam optimizer (Kingma & Ba, 2015) — the descent algorithm used by DOSA.
+
+    ``fused=True`` selects an allocation-free update path: moments and the
+    parameter arrays are updated in place through two preallocated scratch
+    buffers per parameter.  The fused update computes bit-identical values to
+    the default path (same operations in the same order); the only observable
+    difference is that ``parameter.data`` is mutated rather than replaced, so
+    callers holding references to the old array will see it change.  The
+    DOSA inner loop runs fused; the default stays allocation-per-step for
+    code that snapshots ``.data`` between steps.
+    """
 
     def __init__(
         self,
@@ -69,6 +83,7 @@ class Adam(Optimizer):
         betas: Sequence[float] = (0.9, 0.999),
         eps: float = 1e-8,
         weight_decay: float = 0.0,
+        fused: bool = False,
     ) -> None:
         super().__init__(parameters)
         if lr <= 0:
@@ -79,14 +94,21 @@ class Adam(Optimizer):
         self.beta1, self.beta2 = betas
         self.eps = eps
         self.weight_decay = weight_decay
+        self.fused = fused
         self._step_count = 0
         self._m: list[np.ndarray] = [np.zeros_like(p.data) for p in self.parameters]
         self._v: list[np.ndarray] = [np.zeros_like(p.data) for p in self.parameters]
+        self._scratch: list[tuple[np.ndarray, np.ndarray]] = (
+            [(np.empty_like(p.data), np.empty_like(p.data)) for p in self.parameters]
+            if fused else [])
 
     def step(self) -> None:
         self._step_count += 1
         bias1 = 1.0 - self.beta1**self._step_count
         bias2 = 1.0 - self.beta2**self._step_count
+        if self.fused:
+            self._fused_step(bias1, bias2)
+            return
         for parameter, m, v in zip(self.parameters, self._m, self._v):
             if parameter.grad is None:
                 continue
@@ -100,6 +122,30 @@ class Adam(Optimizer):
             m_hat = m / bias1
             v_hat = v / bias2
             parameter.data = parameter.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def _fused_step(self, bias1: float, bias2: float) -> None:
+        """In-place Adam update through scratch buffers (no allocations)."""
+        for parameter, m, v, (s1, s2) in zip(self.parameters, self._m, self._v,
+                                             self._scratch):
+            if parameter.grad is None:
+                continue
+            grad = parameter.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * parameter.data
+            np.multiply(grad, 1.0 - self.beta1, out=s1)
+            m *= self.beta1
+            m += s1
+            np.multiply(grad, grad, out=s1)
+            s1 *= 1.0 - self.beta2
+            v *= self.beta2
+            v += s1
+            np.divide(v, bias2, out=s1)
+            np.sqrt(s1, out=s1)
+            s1 += self.eps
+            np.divide(m, bias1, out=s2)
+            s2 *= self.lr
+            s2 /= s1
+            parameter.data -= s2
 
 
 class LearningRateSchedule:

@@ -7,9 +7,15 @@ recorded computation graph in reverse topological order and accumulates
 gradients into every leaf tensor created with ``requires_grad=True``.
 
 The implementation intentionally mirrors the small, explicit style of
-micro-autograd engines: each operation stores its parents and a closure that
-propagates the incoming gradient.  Broadcasting is supported; gradients are
-summed back to the parent's shape before accumulation.
+micro-autograd engines: each operation stores its parents, a closure that
+propagates the incoming gradient, and a closure that recomputes its forward
+value from the parents' *current* ``.data``.  The recompute closures are what
+make :class:`repro.autodiff.tape.Tape` possible: a captured graph can be
+replayed forward and backward with fresh parameter values instead of being
+re-traced from Python every optimizer step.  To keep replay faithful, backward
+closures read ``.data`` at call time rather than capturing arrays at trace
+time.  Broadcasting is supported; gradients are summed back to the parent's
+shape before accumulation.
 """
 
 from __future__ import annotations
@@ -55,10 +61,65 @@ def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
     return grad.reshape(shape)
 
 
+def topological_order(root: "Tensor") -> list["Tensor"]:
+    """Ancestors of ``root`` that require grad, parents before children.
+
+    This is the traversal order used by :meth:`Tensor.backward`; it is exposed
+    so :class:`repro.autodiff.tape.Tape` can cache it once and replay the same
+    schedule every step.
+    """
+    order: list[Tensor] = []
+    visited: set[int] = set()
+    stack: list[tuple[Tensor, bool]] = [(root, False)]
+    while stack:
+        node, processed = stack.pop()
+        if processed:
+            order.append(node)
+            continue
+        if id(node) in visited:
+            continue
+        visited.add(id(node))
+        stack.append((node, True))
+        for parent in node._parents:
+            if parent.requires_grad and id(parent) not in visited:
+                stack.append((parent, False))
+    return order
+
+
+def backpropagate(root: "Tensor", topo_order: list["Tensor"], grad: np.ndarray) -> None:
+    """Run reverse-mode accumulation along a precomputed topological order.
+
+    Shared by :meth:`Tensor.backward` (which computes the order on the fly)
+    and :class:`repro.autodiff.tape.Tape` (which caches it), so a tape replay
+    performs bit-for-bit the same accumulation as a fresh re-trace.
+    """
+    grads: dict[int, np.ndarray] = {id(root): grad}
+    for node in reversed(topo_order):
+        node_grad = grads.pop(id(node), None)
+        if node_grad is None:
+            continue
+        if node._backward is not None:
+            for parent, contribution in node._backward(node_grad):
+                if not parent.requires_grad or contribution is None:
+                    continue
+                contribution = _unbroadcast(
+                    np.asarray(contribution, dtype=np.float64), parent.data.shape
+                )
+                key = id(parent)
+                if key in grads:
+                    grads[key] = grads[key] + contribution
+                else:
+                    grads[key] = contribution
+        if not node._parents:
+            # Leaf tensor: expose the accumulated gradient via ``.grad``.
+            node._accumulate(node_grad)
+
+
 class Tensor:
     """A NumPy-backed tensor participating in a dynamic autodiff graph."""
 
-    __slots__ = ("data", "grad", "requires_grad", "_parents", "_backward", "name")
+    __slots__ = ("data", "grad", "requires_grad", "_parents", "_backward",
+                 "_recompute", "name")
 
     # Make numpy defer to Tensor for mixed operations such as ``2.0 * tensor``.
     __array_priority__ = 200
@@ -76,6 +137,7 @@ class Tensor:
         self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
         self._parents: tuple[Tensor, ...] = ()
         self._backward: Callable[[np.ndarray], None] | None = None
+        self._recompute: Callable[[], np.ndarray] | None = None
         self.name = name
 
     # ------------------------------------------------------------------ #
@@ -142,24 +204,45 @@ class Tensor:
         self,
         data: np.ndarray,
         parents: tuple["Tensor", ...],
-        backward: Callable[[np.ndarray], None],
+        backward: Callable[[np.ndarray], None] | None,
+        forward: Callable[[], np.ndarray] | None = None,
     ) -> "Tensor":
+        """Create an op result wired into the graph when grad is enabled.
+
+        ``backward`` propagates an incoming gradient to the parents;
+        ``forward`` recomputes this node's value from the parents' current
+        ``.data`` (used by tape replay).  Ops whose backward needs the output
+        value pass ``backward=None`` here and attach it with
+        :meth:`_set_backward` once the child exists.
+        """
         child = Tensor(data)
         if _GRAD_ENABLED and any(p.requires_grad for p in parents):
             child.requires_grad = True
             child._parents = parents
             child._backward = backward
+            child._recompute = forward
         return child
+
+    def _set_backward(self, backward: Callable[[np.ndarray], None]) -> "Tensor":
+        """Attach a late-bound backward closure (only if this node is wired)."""
+        if self._parents:
+            self._backward = backward
+        return self
 
     def _accumulate(self, grad: np.ndarray) -> None:
         grad = _unbroadcast(np.asarray(grad, dtype=np.float64), self.data.shape)
         if self.grad is None:
+            # Gradients are initialized on first accumulation (``zero_grad``
+            # drops them to ``None``), so no per-step zero buffers are
+            # allocated.  The copy keeps ``.grad`` an owned, writable array:
+            # the incoming contribution may be a read-only broadcast view or
+            # an array also delivered to a sibling leaf.
             self.grad = grad.copy()
         else:
             self.grad = self.grad + grad
 
     def zero_grad(self) -> None:
-        """Reset the accumulated gradient of this tensor."""
+        """Reset the accumulated gradient of this tensor (drops it to None)."""
         self.grad = None
 
     def backward(self, grad: np.ndarray | float | None = None) -> None:
@@ -176,102 +259,75 @@ class Tensor:
                 raise RuntimeError("backward() without an explicit gradient requires a scalar")
             grad = np.ones_like(self.data)
         grad = np.broadcast_to(np.asarray(grad, dtype=np.float64), self.data.shape).copy()
-
-        topo_order: list[Tensor] = []
-        visited: set[int] = set()
-        stack: list[tuple[Tensor, bool]] = [(self, False)]
-        while stack:
-            node, processed = stack.pop()
-            if processed:
-                topo_order.append(node)
-                continue
-            if id(node) in visited:
-                continue
-            visited.add(id(node))
-            stack.append((node, True))
-            for parent in node._parents:
-                if parent.requires_grad and id(parent) not in visited:
-                    stack.append((parent, False))
-
-        grads: dict[int, np.ndarray] = {id(self): grad}
-        for node in reversed(topo_order):
-            node_grad = grads.pop(id(node), None)
-            if node_grad is None:
-                continue
-            if node._backward is not None:
-                for parent, contribution in node._backward(node_grad):
-                    if not parent.requires_grad or contribution is None:
-                        continue
-                    contribution = _unbroadcast(
-                        np.asarray(contribution, dtype=np.float64), parent.data.shape
-                    )
-                    key = id(parent)
-                    if key in grads:
-                        grads[key] = grads[key] + contribution
-                    else:
-                        grads[key] = contribution
-            if not node._parents:
-                # Leaf tensor: expose the accumulated gradient via ``.grad``.
-                node._accumulate(node_grad)
+        backpropagate(self, topological_order(self), grad)
 
     # ------------------------------------------------------------------ #
     # Elementwise arithmetic
     # ------------------------------------------------------------------ #
     def __add__(self, other: ArrayLike) -> "Tensor":
         other = Tensor.as_tensor(other)
-        out_data = self.data + other.data
+
+        def forward():
+            return self.data + other.data
 
         def backward(grad: np.ndarray):
             return ((self, grad), (other, grad))
 
-        return self._make_child(out_data, (self, other), backward)
+        return self._make_child(forward(), (self, other), backward, forward)
 
     def __radd__(self, other: ArrayLike) -> "Tensor":
         return Tensor.as_tensor(other) + self
 
     def __sub__(self, other: ArrayLike) -> "Tensor":
         other = Tensor.as_tensor(other)
-        out_data = self.data - other.data
+
+        def forward():
+            return self.data - other.data
 
         def backward(grad: np.ndarray):
             return ((self, grad), (other, -grad))
 
-        return self._make_child(out_data, (self, other), backward)
+        return self._make_child(forward(), (self, other), backward, forward)
 
     def __rsub__(self, other: ArrayLike) -> "Tensor":
         return Tensor.as_tensor(other) - self
 
     def __neg__(self) -> "Tensor":
+        def forward():
+            return -self.data
+
         def backward(grad: np.ndarray):
             return ((self, -grad),)
 
-        return self._make_child(-self.data, (self,), backward)
+        return self._make_child(forward(), (self,), backward, forward)
 
     def __mul__(self, other: ArrayLike) -> "Tensor":
         other = Tensor.as_tensor(other)
-        out_data = self.data * other.data
-        self_data, other_data = self.data, other.data
+
+        def forward():
+            return self.data * other.data
 
         def backward(grad: np.ndarray):
-            return ((self, grad * other_data), (other, grad * self_data))
+            return ((self, grad * other.data), (other, grad * self.data))
 
-        return self._make_child(out_data, (self, other), backward)
+        return self._make_child(forward(), (self, other), backward, forward)
 
     def __rmul__(self, other: ArrayLike) -> "Tensor":
         return Tensor.as_tensor(other) * self
 
     def __truediv__(self, other: ArrayLike) -> "Tensor":
         other = Tensor.as_tensor(other)
-        out_data = self.data / other.data
-        self_data, other_data = self.data, other.data
+
+        def forward():
+            return self.data / other.data
 
         def backward(grad: np.ndarray):
             return (
-                (self, grad / other_data),
-                (other, -grad * self_data / (other_data**2)),
+                (self, grad / other.data),
+                (other, -grad * self.data / (other.data**2)),
             )
 
-        return self._make_child(out_data, (self, other), backward)
+        return self._make_child(forward(), (self, other), backward, forward)
 
     def __rtruediv__(self, other: ArrayLike) -> "Tensor":
         return Tensor.as_tensor(other) / self
@@ -279,36 +335,42 @@ class Tensor:
     def __pow__(self, exponent: float) -> "Tensor":
         if isinstance(exponent, Tensor):
             return self._tensor_pow(exponent)
-        out_data = self.data**exponent
-        self_data = self.data
+
+        def forward():
+            return self.data**exponent
 
         def backward(grad: np.ndarray):
-            return ((self, grad * exponent * self_data ** (exponent - 1)),)
+            return ((self, grad * exponent * self.data ** (exponent - 1)),)
 
-        return self._make_child(out_data, (self,), backward)
+        return self._make_child(forward(), (self,), backward, forward)
 
     def _tensor_pow(self, exponent: "Tensor") -> "Tensor":
-        out_data = self.data**exponent.data
-        base_data, exp_data = self.data, exponent.data
+        def forward():
+            return self.data**exponent.data
+
+        out = self._make_child(forward(), (self, exponent), None, forward)
 
         def backward(grad: np.ndarray):
+            base_data, exp_data = self.data, exponent.data
             grad_base = grad * exp_data * base_data ** (exp_data - 1)
             with np.errstate(divide="ignore", invalid="ignore"):
                 log_base = np.where(base_data > 0, np.log(np.maximum(base_data, 1e-300)), 0.0)
-            grad_exp = grad * out_data * log_base
+            grad_exp = grad * out.data * log_base
             return ((self, grad_base), (exponent, grad_exp))
 
-        return self._make_child(out_data, (self, exponent), backward)
+        return out._set_backward(backward)
 
     # ------------------------------------------------------------------ #
     # Matrix multiply, reshaping, indexing
     # ------------------------------------------------------------------ #
     def matmul(self, other: "Tensor") -> "Tensor":
         other = Tensor.as_tensor(other)
-        out_data = self.data @ other.data
-        self_data, other_data = self.data, other.data
+
+        def forward():
+            return self.data @ other.data
 
         def backward(grad: np.ndarray):
+            self_data, other_data = self.data, other.data
             if self_data.ndim == 1 and other_data.ndim == 1:
                 # inner product: grad is scalar
                 return ((self, grad * other_data), (other, grad * self_data))
@@ -324,7 +386,7 @@ class Tensor:
             grad_other = np.swapaxes(self_data, -1, -2) @ grad
             return ((self, grad_self), (other, grad_other))
 
-        return self._make_child(out_data, (self, other), backward)
+        return self._make_child(forward(), (self, other), backward, forward)
 
     def __matmul__(self, other: "Tensor") -> "Tensor":
         return self.matmul(other)
@@ -333,42 +395,49 @@ class Tensor:
         if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
             shape = tuple(shape[0])
         original_shape = self.data.shape
-        out_data = self.data.reshape(shape)
+
+        def forward():
+            return self.data.reshape(shape)
 
         def backward(grad: np.ndarray):
             return ((self, grad.reshape(original_shape)),)
 
-        return self._make_child(out_data, (self,), backward)
+        return self._make_child(forward(), (self,), backward, forward)
 
     def transpose(self) -> "Tensor":
-        out_data = self.data.T
+        def forward():
+            return self.data.T
 
         def backward(grad: np.ndarray):
             return ((self, grad.T),)
 
-        return self._make_child(out_data, (self,), backward)
+        return self._make_child(forward(), (self,), backward, forward)
 
     @property
     def T(self) -> "Tensor":
         return self.transpose()
 
     def __getitem__(self, index) -> "Tensor":
-        out_data = self.data[index]
         shape = self.data.shape
+
+        def forward():
+            return self.data[index]
 
         def backward(grad: np.ndarray):
             full = np.zeros(shape, dtype=np.float64)
             np.add.at(full, index, grad)
             return ((self, full),)
 
-        return self._make_child(out_data, (self,), backward)
+        return self._make_child(forward(), (self,), backward, forward)
 
     # ------------------------------------------------------------------ #
     # Reductions and elementwise functions (method forms)
     # ------------------------------------------------------------------ #
     def sum(self, axis: int | tuple[int, ...] | None = None, keepdims: bool = False) -> "Tensor":
-        out_data = self.data.sum(axis=axis, keepdims=keepdims)
         shape = self.data.shape
+
+        def forward():
+            return self.data.sum(axis=axis, keepdims=keepdims)
 
         def backward(grad: np.ndarray):
             grad = np.asarray(grad, dtype=np.float64)
@@ -382,7 +451,7 @@ class Tensor:
                 expanded = np.broadcast_to(grad, shape)
             return ((self, expanded),)
 
-        return self._make_child(out_data, (self,), backward)
+        return self._make_child(forward(), (self,), backward, forward)
 
     def mean(self, axis: int | tuple[int, ...] | None = None, keepdims: bool = False) -> "Tensor":
         if axis is None:
@@ -394,70 +463,75 @@ class Tensor:
 
     def prod(self) -> "Tensor":
         """Product over all elements (differentiable, tolerant of zeros)."""
-        out_value = float(np.prod(self.data))
-        self_data = self.data
+
+        def forward():
+            return np.asarray(float(np.prod(self.data)))
 
         def backward(grad: np.ndarray):
             grad_value = float(np.asarray(grad).reshape(-1)[0])
-            flat = self_data.reshape(-1)
+            flat = self.data.reshape(-1)
             n = flat.size
             # Gradient of the product w.r.t. each element is the product of
-            # all the others; computed with prefix/suffix products so that a
-            # single zero element does not wipe out every gradient.
-            prefix = np.ones(n + 1)
-            suffix = np.ones(n + 1)
-            for i in range(n):
-                prefix[i + 1] = prefix[i] * flat[i]
-            for i in range(n - 1, -1, -1):
-                suffix[i] = suffix[i + 1] * flat[i]
-            partials = prefix[:n] * suffix[1:]
-            return ((self, (grad_value * partials).reshape(self_data.shape)),)
+            # all the others; computed with exclusive prefix/suffix products
+            # so that a single zero element does not wipe out every gradient.
+            prefix = np.ones(n)
+            suffix = np.ones(n)
+            if n > 1:
+                np.multiply.accumulate(flat[:-1], out=prefix[1:])
+                np.multiply.accumulate(flat[:0:-1], out=suffix[-2::-1])
+            partials = prefix * suffix
+            return ((self, (grad_value * partials).reshape(self.data.shape)),)
 
-        return self._make_child(np.asarray(out_value), (self,), backward)
+        return self._make_child(forward(), (self,), backward, forward)
 
     def max(self) -> "Tensor":
-        out_value = self.data.max()
-        self_data = self.data
+        def forward():
+            return np.asarray(self.data.max())
+
+        out = self._make_child(forward(), (self,), None, forward)
 
         def backward(grad: np.ndarray):
             grad_value = float(np.asarray(grad).reshape(-1)[0])
-            mask = (self_data == out_value).astype(np.float64)
+            mask = (self.data == out.data).astype(np.float64)
             mask /= mask.sum()
             return ((self, grad_value * mask),)
 
-        return self._make_child(np.asarray(out_value), (self,), backward)
+        return out._set_backward(backward)
 
     def min(self) -> "Tensor":
         return -((-self).max())
 
     def exp(self) -> "Tensor":
-        out_data = np.exp(self.data)
+        def forward():
+            return np.exp(self.data)
+
+        out = self._make_child(forward(), (self,), None, forward)
 
         def backward(grad: np.ndarray):
-            return ((self, grad * out_data),)
+            return ((self, grad * out.data),)
 
-        return self._make_child(out_data, (self,), backward)
+        return out._set_backward(backward)
 
     def log(self) -> "Tensor":
-        out_data = np.log(self.data)
-        self_data = self.data
+        def forward():
+            return np.log(self.data)
 
         def backward(grad: np.ndarray):
-            return ((self, grad / self_data),)
+            return ((self, grad / self.data),)
 
-        return self._make_child(out_data, (self,), backward)
+        return self._make_child(forward(), (self,), backward, forward)
 
     def sqrt(self) -> "Tensor":
         return self**0.5
 
     def abs(self) -> "Tensor":
-        out_data = np.abs(self.data)
-        sign = np.sign(self.data)
+        def forward():
+            return np.abs(self.data)
 
         def backward(grad: np.ndarray):
-            return ((self, grad * sign),)
+            return ((self, grad * np.sign(self.data)),)
 
-        return self._make_child(out_data, (self,), backward)
+        return self._make_child(forward(), (self,), backward, forward)
 
     # ------------------------------------------------------------------ #
     # Comparisons (non-differentiable, return plain numpy bool arrays)

@@ -4,12 +4,18 @@ Implements Equations 1-18 over :class:`repro.autodiff.Tensor` values so that
 the whole-model energy-delay product is differentiable with respect to every
 layer's spatial and temporal tiling factors — which is what enables the
 one-loop, mapping-first gradient-descent search.
+
+Two interchangeable parameterizations are provided: the per-layer
+:class:`LayerFactors` (one scalar graph per layer) and the layer-batched
+:class:`NetworkFactors` (all layers stacked into two tensors, one array graph
+per network — the fast path of the GD inner loop).
 """
 
 from repro.core.dmodel.hardware import DifferentiableHardware
-from repro.core.dmodel.factors import LayerFactors
+from repro.core.dmodel.factors import LayerFactors, NetworkFactors, NetworkGrid
 from repro.core.dmodel.model import DifferentiableModel, LayerPerformance
 from repro.core.dmodel.loss import (
+    best_ordering_per_layer,
     network_edp_loss,
     softmax_ordering_loss,
     validity_penalty,
@@ -18,8 +24,11 @@ from repro.core.dmodel.loss import (
 __all__ = [
     "DifferentiableHardware",
     "LayerFactors",
+    "NetworkFactors",
+    "NetworkGrid",
     "DifferentiableModel",
     "LayerPerformance",
+    "best_ordering_per_layer",
     "network_edp_loss",
     "softmax_ordering_loss",
     "validity_penalty",

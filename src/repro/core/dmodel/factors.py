@@ -1,4 +1,4 @@
-"""Per-layer differentiable tiling factors (the GD optimization variables).
+"""Differentiable tiling factors (the GD optimization variables).
 
 DOSA optimizes, for every unique layer, the temporal tiling factors at the
 register, accumulator and scratchpad levels plus the two spatial factors of
@@ -11,6 +11,20 @@ Factors are parameterized in log space (the optimizer stores ``log f``), which
 keeps them strictly positive under unconstrained gradient updates; the
 Equation-18 hinge penalty still discourages values below 1 so the inferred
 DRAM factors stay valid.
+
+Two parameterizations share these semantics:
+
+* :class:`LayerFactors` — one layer, scalar-graph factors.  Each forward pass
+  over L layers builds L small graphs of hundreds of scalar nodes.
+* :class:`NetworkFactors` — the layer-batched parameterization.  All L
+  layers' log-factors are stacked into two tensors of shape
+  ``(L, levels, dims)`` and ``(L, 2)``, so one forward pass over the whole
+  network builds a *single* small graph of array ops whose node count is
+  independent of the layer count.  Per-layer loop-ordering decisions become
+  precomputed gather-index arrays (re-derived only when mappings are
+  re-snapped at rounding points), and the per-factor structural masks are
+  re-derived from current values on every pass inside
+  :func:`repro.autodiff.ops.reload_product`.
 """
 
 from __future__ import annotations
@@ -32,7 +46,9 @@ from repro.mapping.mapping import (
     LoopOrdering,
     Mapping,
     NUM_DIMS,
+    NUM_LEVELS,
     SPATIAL_DIMS,
+    ordering_for_tensor,
 )
 from repro.mapping.rounding import round_mapping
 from repro.workloads.layer import DIMENSIONS, LayerDims
@@ -158,3 +174,273 @@ class LayerFactors:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"LayerFactors({self.layer.name or self.layer.dims()}, orderings={[o.value for o in self.orderings]})"
+
+
+# --------------------------------------------------------------------------- #
+# Layer-batched parameterization
+# --------------------------------------------------------------------------- #
+class NetworkGrid(dict):
+    """Batched factor grid: ``(kind, level, dim) -> (L,) Tensor | float``.
+
+    Same keying as :meth:`LayerFactors.factor_grid`, with one ``(L,)`` column
+    per factor instead of a scalar.  The two matrix attributes expose the
+    underlying stacked tensors for walk-order gathers (the batched reload
+    factors index them with static per-layer permutation arrays).
+    """
+
+    temporal_matrix: "Tensor"  # (L, optimized levels, dims)
+    dram_matrix: "Tensor"      # (L, dims) inferred DRAM temporal factors
+
+
+class _BatchedLayerView:
+    """Array-valued stand-in for ``LayerFactors.layer`` over a layer batch.
+
+    Lets the :class:`~repro.core.dmodel.model.DifferentiableModel` tile-size
+    formulas run unchanged on batched grids: ``stride_p``/``stride_q`` and
+    ``dim(name)`` return ``(L,)`` arrays that broadcast through the same
+    expressions the scalar path uses.  ``sizes`` is shared with the owning
+    :class:`NetworkFactors`' ``dim_sizes`` — one table, two readers.
+    """
+
+    def __init__(self, layers: Sequence[LayerDims], sizes: np.ndarray) -> None:
+        self.stride_p = np.array([layer.stride_p for layer in layers], dtype=np.float64)
+        self.stride_q = np.array([layer.stride_q for layer in layers], dtype=np.float64)
+        self._sizes = sizes
+
+    def dim(self, name: str) -> np.ndarray:
+        return self._sizes[:, DIM_INDEX[name]]
+
+
+class NetworkFactors:
+    """Differentiable tiling factors of *all* layers, stacked layer-first.
+
+    The GD optimization variables of a whole network as two leaf tensors:
+    ``log_temporal`` of shape ``(L, len(OPTIMIZED_LEVELS), NUM_DIMS)`` and
+    ``log_spatial`` of shape ``(L, len(SPATIAL_DIMS))``.  One gradient step
+    through this parameterization builds a single graph of NumPy array ops
+    regardless of the layer count — the layer-batched counterpart of a list
+    of :class:`LayerFactors`.
+
+    Layers are heterogeneous: problem sizes and strides live in per-layer
+    rows of ``dim_sizes``/stride arrays, and ``dim_mask`` marks which columns
+    are real problem dimensions (size > 1).  Columns where the mask is False
+    are padding — structurally-unit dimensions (e.g. R/S/Q of a matmul layer)
+    whose factors stay pinned near 1 by the Eq.-18 penalty exactly as they do
+    in the per-layer model, so masking is informational, not semantic.
+
+    Loop orderings are per layer and per level; they are compiled once into
+    gather-permutation index arrays (:meth:`order_perm`) and re-derived only
+    when :meth:`load_mappings` re-snaps the parameterization at a rounding
+    point, matching the model's locally-constant-structure semantics.
+    """
+
+    def __init__(
+        self,
+        layers: Sequence[LayerDims],
+        log_temporal: np.ndarray | None = None,
+        log_spatial: np.ndarray | None = None,
+        orderings: Sequence[Sequence[LoopOrdering]] | None = None,
+    ) -> None:
+        if not layers:
+            raise ValueError("NetworkFactors requires at least one layer")
+        self.layers = list(layers)
+        count = len(self.layers)
+        if log_temporal is None:
+            log_temporal = np.zeros((count, len(OPTIMIZED_LEVELS), NUM_DIMS))
+        if log_spatial is None:
+            log_spatial = np.zeros((count, len(SPATIAL_DIMS)))
+        log_temporal = np.asarray(log_temporal, dtype=np.float64)
+        log_spatial = np.asarray(log_spatial, dtype=np.float64)
+        if log_temporal.shape != (count, len(OPTIMIZED_LEVELS), NUM_DIMS):
+            raise ValueError(f"log_temporal must have shape "
+                             f"{(count, len(OPTIMIZED_LEVELS), NUM_DIMS)}, "
+                             f"got {log_temporal.shape}")
+        if log_spatial.shape != (count, len(SPATIAL_DIMS)):
+            raise ValueError(f"log_spatial must have shape "
+                             f"{(count, len(SPATIAL_DIMS))}, got {log_spatial.shape}")
+        self.log_temporal = Tensor(log_temporal, requires_grad=True, name="network:log_temporal")
+        self.log_spatial = Tensor(log_spatial, requires_grad=True, name="network:log_spatial")
+        if orderings is None:
+            orderings = [DEFAULT_ORDERINGS] * count
+        self.orderings: list[tuple[LoopOrdering, ...]] = [tuple(o) for o in orderings]
+        if len(self.orderings) != count:
+            raise ValueError("one per-level ordering tuple is required per layer")
+        self.dim_sizes = np.array(
+            [[float(layer.dim(d)) for d in DIMENSIONS] for layer in self.layers],
+            dtype=np.float64,
+        )
+        self.dim_mask = self.dim_sizes > 1.0
+        self._layer_view = _BatchedLayerView(self.layers, self.dim_sizes)
+        self._order_perms: np.ndarray | None = None
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    # ------------------------------------------------------------------ #
+    # Construction from / conversion to concrete mappings
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _stacked_log_factors(mappings: Sequence[Mapping]) -> tuple[np.ndarray, np.ndarray]:
+        """Stack mappings into ``(L, levels, dims)`` / ``(L, 2)`` log arrays.
+
+        The single source of the clamp and level-slice conventions shared by
+        :meth:`from_mappings` and :meth:`load_mappings` (mirroring the
+        per-layer :meth:`LayerFactors.load_mapping`).
+        """
+        log_temporal = np.stack([
+            np.log(np.maximum(m.temporal[list(OPTIMIZED_LEVELS), :], 1e-12))
+            for m in mappings
+        ])
+        log_spatial = np.stack([
+            np.log(np.array([max(m.spatial_factor(level, dim), 1e-12)
+                             for level, dim in SPATIAL_DIMS]))
+            for m in mappings
+        ])
+        return log_temporal, log_spatial
+
+    @staticmethod
+    def from_mappings(mappings: Sequence[Mapping]) -> "NetworkFactors":
+        """Initialize stacked log-factors from concrete (valid) mappings."""
+        log_temporal, log_spatial = NetworkFactors._stacked_log_factors(mappings)
+        return NetworkFactors(
+            layers=[m.layer for m in mappings],
+            log_temporal=log_temporal,
+            log_spatial=log_spatial,
+            orderings=[m.orderings for m in mappings],
+        )
+
+    @staticmethod
+    def from_layer_factors(all_factors: Sequence[LayerFactors]) -> "NetworkFactors":
+        """Stack per-layer :class:`LayerFactors` into one batched instance."""
+        return NetworkFactors(
+            layers=[f.layer for f in all_factors],
+            log_temporal=np.stack([f.log_temporal.data for f in all_factors]),
+            log_spatial=np.stack([f.log_spatial.data for f in all_factors]),
+            orderings=[f.orderings for f in all_factors],
+        )
+
+    def load_mappings(self, mappings: Sequence[Mapping]) -> None:
+        """Overwrite the parameter values (in place) from concrete mappings.
+
+        Used after periodic rounding: the same parameter tensors (and hence
+        the optimizer's momentum state) continue from the snapped point.  The
+        orderings may change here, which invalidates the compiled permutation
+        arrays — callers holding a :class:`~repro.autodiff.tape.Tape` over a
+        graph built from this instance must re-trace it.
+        """
+        if len(mappings) != len(self.layers):
+            raise ValueError(f"expected {len(self.layers)} mappings, got {len(mappings)}")
+        self.log_temporal.data, self.log_spatial.data = (
+            self._stacked_log_factors(mappings))
+        self.orderings = [tuple(m.orderings) for m in mappings]
+        self._order_perms = None
+
+    def parameters(self) -> list[Tensor]:
+        return [self.log_temporal, self.log_spatial]
+
+    # ------------------------------------------------------------------ #
+    # Structure compilation
+    # ------------------------------------------------------------------ #
+    @property
+    def layer(self) -> _BatchedLayerView:
+        """Batched stand-in for ``LayerFactors.layer`` (array-valued dims)."""
+        return self._layer_view
+
+    def order_perm(self, level: int) -> np.ndarray:
+        """``(L, dims)`` dimension indices in loop order (innermost first).
+
+        The batched counterpart of ``Mapping.loop_order``: row ``l`` permutes
+        the dimension axis of layer ``l``'s temporal factors at ``level`` into
+        that layer's walk order.  Compiled lazily from the current orderings
+        and cached until :meth:`load_mappings` changes them.
+        """
+        if self._order_perms is None:
+            self._order_perms = np.array(
+                [[[DIM_INDEX[d] for d in ordering_for_tensor(ordering)]
+                  for ordering in layer_orderings]
+                 for layer_orderings in self.orderings],
+                dtype=np.intp,
+            )
+        return self._order_perms[:, level, :]
+
+    # ------------------------------------------------------------------ #
+    # Differentiable factor access
+    # ------------------------------------------------------------------ #
+    def factor_grid(self) -> NetworkGrid:
+        """All factors as ``(L,)`` tensor columns, keyed like the scalar grid.
+
+        Column ``grid[(kind, level, dim)][l]`` equals (bitwise) the scalar
+        ``LayerFactors.factor_grid()`` entry of layer ``l``: the same exp,
+        and the same left-to-right DRAM-inference product chain, evaluated
+        elementwise over the layer axis.
+        """
+        grid = NetworkGrid()
+        temporal = ops.exp(self.log_temporal)
+        spatial = ops.exp(self.log_spatial)
+
+        for level_pos, level in enumerate(OPTIMIZED_LEVELS):
+            for dim in DIMENSIONS:
+                grid[("T", level, dim)] = temporal[:, level_pos, DIM_INDEX[dim]]
+        for level in MEMORY_LEVEL_INDICES:
+            for dim in DIMENSIONS:
+                grid.setdefault(("S", level, dim), 1.0)
+        for position, (level, dim) in enumerate(SPATIAL_DIMS):
+            grid[("S", level, dim)] = spatial[:, position]
+
+        # DRAM temporal factors absorb the remaining problem size.
+        for dim in DIMENSIONS:
+            inner = ops.total_prod(
+                [grid[("T", level, dim)] for level in OPTIMIZED_LEVELS]
+                + [grid[("S", level, dim)] for level, d in SPATIAL_DIMS if d == dim]
+            )
+            grid[("T", LEVEL_DRAM, dim)] = (
+                Tensor(self.dim_sizes[:, DIM_INDEX[dim]]) / inner)
+
+        grid.temporal_matrix = temporal
+        grid.dram_matrix = ops.stack(
+            [grid[("T", LEVEL_DRAM, dim)] for dim in DIMENSIONS]).T
+        return grid
+
+    # ------------------------------------------------------------------ #
+    # Numeric snapshots
+    # ------------------------------------------------------------------ #
+    def snapshot_mappings(self) -> list[Mapping]:
+        """Current (possibly fractional) factors as numeric mappings."""
+        temporal = np.exp(np.clip(self.log_temporal.data, _MIN_LOG_FACTOR, _MAX_LOG_FACTOR))
+        spatial = np.exp(np.clip(self.log_spatial.data, _MIN_LOG_FACTOR, _MAX_LOG_FACTOR))
+        mappings = []
+        for index, layer in enumerate(self.layers):
+            mapping = Mapping(layer=layer, orderings=self.orderings[index])
+            for level_pos, level in enumerate(OPTIMIZED_LEVELS):
+                mapping.temporal[level, :] = temporal[index, level_pos, :]
+            for position, (level, dim) in enumerate(SPATIAL_DIMS):
+                mapping.spatial[level, DIM_INDEX[dim]] = spatial[index, position]
+            mappings.append(mapping.with_dram_inferred())
+        return mappings
+
+    def rounded_mappings(self, max_spatial: float | None = None) -> list[Mapping]:
+        """Nearest valid mapping per layer (Section 5.3.2)."""
+        return [round_mapping(mapping, max_spatial=max_spatial)
+                for mapping in self.snapshot_mappings()]
+
+    def with_uniform_orderings(self, ordering: LoopOrdering) -> "NetworkFactors":
+        """Shallow view sharing parameters, with ``ordering`` at every level.
+
+        Used by the softmax loop-ordering loss to evaluate the WS/IS/OS
+        candidates of every layer without duplicating parameter state.
+        """
+        view = NetworkFactors.__new__(NetworkFactors)
+        view.layers = self.layers
+        view.log_temporal = self.log_temporal
+        view.log_spatial = self.log_spatial
+        view.orderings = [(ordering,) * NUM_LEVELS] * len(self.layers)
+        view.dim_sizes = self.dim_sizes
+        view.dim_mask = self.dim_mask
+        view._layer_view = self._layer_view
+        view._order_perms = None
+        return view
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        names = [layer.name or "?" for layer in self.layers]
+        return (f"NetworkFactors({len(self.layers)} layers: {names}, "
+                f"{int(self.dim_mask.sum())} active dims)")

@@ -64,21 +64,28 @@ class DifferentiableHardware:
 
     @staticmethod
     def from_requirements(
-        spatial_factors: Iterable[Value],
+        spatial_factors: "Iterable[Value] | Tensor",
         accumulator_words: Value,
         scratchpad_words: Value,
     ) -> "DifferentiableHardware":
         """Minimal hardware implied by per-layer requirements (Equation 1, Figure 3).
 
         ``spatial_factors`` are the candidate array side lengths (the C and K
-        spatial factors of every layer); the PE count is the square of their
+        spatial factors of every layer) — an iterable of scalars, or a single
+        1-D tensor from the layer-batched model (reduced with the equivalent
+        fused left-fold maximum).  The PE count is the square of their
         maximum.  SRAM capacities convert word requirements to kilobytes.
         """
-        side = None
-        for factor in spatial_factors:
-            side = factor if side is None else ops.maximum(side, factor)
-        if side is None:
-            raise ValueError("from_requirements needs at least one spatial factor")
+        if isinstance(spatial_factors, Tensor):
+            if spatial_factors.size == 0:
+                raise ValueError("from_requirements needs at least one spatial factor")
+            side = ops.fold_max(spatial_factors)
+        else:
+            side = None
+            for factor in spatial_factors:
+                side = factor if side is None else ops.maximum(side, factor)
+            if side is None:
+                raise ValueError("from_requirements needs at least one spatial factor")
         num_pes = side * side
         accumulator_kb = accumulator_words * (BYTES_PER_WORD[LEVEL_ACCUMULATOR] / 1024.0)
         scratchpad_kb = scratchpad_words * (BYTES_PER_WORD[LEVEL_SCRATCHPAD] / 1024.0)

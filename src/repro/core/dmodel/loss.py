@@ -7,24 +7,50 @@
 * :func:`softmax_ordering_loss` — Equations 15-17: the gradient-based loop
   ordering strategy, weighting each candidate ordering's energy and latency by
   the softmax of its inverse EDP.
+
+Every loss accepts either the per-layer parameterization (a list of
+:class:`LayerFactors` / :class:`LayerPerformance`) or the layer-batched one
+(a :class:`NetworkFactors` / a vector-valued :class:`LayerPerformance` from
+the batched ``evaluate_network``).  The batched branches reduce over the
+layer axis with the left-fold sums of :func:`repro.autodiff.ops.fold_sum`, in
+the same element order as the per-layer Python folds, so batched loss values
+are bit-identical to the per-layer ones.
 """
 
 from __future__ import annotations
 
 from typing import Sequence
 
+import numpy as np
+
 from repro.autodiff import Tensor, ops
-from repro.core.dmodel.factors import LayerFactors
+from repro.core.dmodel.factors import LayerFactors, NetworkFactors, NetworkGrid
 from repro.core.dmodel.hardware import DifferentiableHardware
 from repro.core.dmodel.model import DifferentiableModel, LayerPerformance
 from repro.mapping.mapping import LoopOrdering
 
 
+def _repeat_vector(repeats: Sequence[int], count: int) -> Tensor:
+    if len(repeats) != count:
+        raise ValueError("one repetition count is required per layer performance")
+    return Tensor(np.array([float(rep) for rep in repeats]))
+
+
 def network_edp_loss(
-    performances: Sequence[LayerPerformance],
+    performances: "Sequence[LayerPerformance] | LayerPerformance",
     repeats: Sequence[int],
 ) -> Tensor:
-    """Whole-model EDP (Equation 14): sum energies x sum latencies."""
+    """Whole-model EDP (Equation 14): sum energies x sum latencies.
+
+    ``performances`` is either one :class:`LayerPerformance` per layer or a
+    single batched performance whose ``energy``/``latency`` are ``(L,)``
+    tensors.
+    """
+    if isinstance(performances, LayerPerformance):
+        reps = _repeat_vector(repeats, len(performances.energy))
+        total_energy = ops.fold_sum(performances.energy * reps)
+        total_latency = ops.fold_sum(performances.latency * reps)
+        return total_energy * total_latency
     if len(performances) != len(repeats):
         raise ValueError("one repetition count is required per layer performance")
     total_energy = ops.total_sum(
@@ -36,8 +62,23 @@ def network_edp_loss(
     return total_energy * total_latency
 
 
-def validity_penalty(all_factors: Sequence[LayerFactors]) -> Tensor:
-    """Equation 18: sum of ``max(1 - f, 0)`` over every tiling factor."""
+def validity_penalty(
+    all_factors: "Sequence[LayerFactors] | NetworkFactors",
+    grid: NetworkGrid | None = None,
+) -> Tensor:
+    """Equation 18: sum of ``max(1 - f, 0)`` over every tiling factor.
+
+    The batched branch flattens the per-entry ``(L,)`` hinge columns
+    layer-major before the fold, reproducing the per-layer summation order
+    exactly.  ``grid`` lets the batched caller reuse one factor grid across
+    the whole loss graph.
+    """
+    if isinstance(all_factors, NetworkFactors):
+        grid = grid if grid is not None else all_factors.factor_grid()
+        hinges = [ops.relu(1.0 - value) for value in grid.values()
+                  if isinstance(value, Tensor)]
+        flat = ops.stack(hinges).T.reshape(len(all_factors) * len(hinges))
+        return ops.fold_sum(flat)
     terms = []
     for factors in all_factors:
         grid = factors.factor_grid()
@@ -62,16 +103,40 @@ def ordering_candidates(factors: LayerFactors) -> list[LayerFactors]:
 
 
 def softmax_ordering_loss(
-    all_factors: Sequence[LayerFactors],
+    all_factors: "Sequence[LayerFactors] | NetworkFactors",
     repeats: Sequence[int],
     hardware: DifferentiableHardware | None = None,
+    grid: NetworkGrid | None = None,
 ) -> Tensor:
     """Equations 15-17: loss with softmax-weighted loop-ordering mixtures.
 
     For every layer, the energies and latencies of the WS/IS/OS orderings are
     combined with weights ``softmax(1 / (E ⊙ L))``; the weighted per-layer
-    energies and latencies are then composed into the whole-model EDP.
+    energies and latencies are then composed into the whole-model EDP.  The
+    batched branch evaluates each candidate ordering once over all layers
+    (``(3, L)`` energy/latency matrices) instead of per layer.
     """
+    if isinstance(all_factors, NetworkFactors):
+        # The factor grid is ordering-independent, so one grid serves the
+        # hardware derivation and all three candidate orderings (only the
+        # walk-order gathers inside the reload factors differ per candidate).
+        grid = grid if grid is not None else all_factors.factor_grid()
+        if hardware is None:
+            hardware = DifferentiableModel.derive_hardware(all_factors, grid=grid)
+        energies = []
+        latencies = []
+        for ordering in _CANDIDATE_ORDERINGS:
+            candidate = all_factors.with_uniform_orderings(ordering)
+            perf = DifferentiableModel.evaluate_layer(candidate, hardware, grid)
+            energies.append(perf.energy)
+            latencies.append(perf.latency)
+        energy_matrix = ops.stack(energies)      # (3, L)
+        latency_matrix = ops.stack(latencies)    # (3, L)
+        weights = ops.softmax(1.0 / (energy_matrix * latency_matrix), axis=0)
+        reps = _repeat_vector(repeats, len(all_factors))
+        weighted_energy = (weights * energy_matrix).sum(axis=0) * reps
+        weighted_latency = (weights * latency_matrix).sum(axis=0) * reps
+        return ops.fold_sum(weighted_energy) * ops.fold_sum(weighted_latency)
     if hardware is None:
         hardware = DifferentiableModel.derive_hardware(list(all_factors))
     weighted_energies = []

@@ -7,12 +7,28 @@ and maxima use the exact-max subgradient of :func:`repro.autodiff.ops.maximum`.
 The structural decisions — which loops provide temporal reuse given the loop
 ordering — are made from the current numeric factor values and treated as
 locally constant, so each forward pass is differentiable on its active piece.
+
+Every formula operates on factor-grid entries and runs in two modes:
+
+* scalar, over one :class:`~repro.core.dmodel.factors.LayerFactors` grid —
+  each entry is a 0-d tensor and the graph has hundreds of nodes per layer;
+* layer-batched, over a :class:`~repro.core.dmodel.factors.NetworkFactors`
+  grid — each entry is an ``(L,)`` column and the *same* expression chains
+  build one graph whose node count is independent of the layer count.  Only
+  the loop-order-aware reload factor and the cross-layer hardware derivation
+  dispatch to dedicated batched implementations (walk-order gathers plus the
+  fused :func:`~repro.autodiff.ops.reload_product` /
+  :func:`~repro.autodiff.ops.fold_max` reductions).  Batched forward values
+  are bit-identical to the scalar path; gradients agree up to floating-point
+  accumulation order.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from typing import Sequence
+
+import numpy as np
 
 from repro.arch.components import (
     BYPASS_MATRIX,
@@ -23,7 +39,7 @@ from repro.arch.components import (
     MEMORY_LEVEL_INDICES,
 )
 from repro.autodiff import Tensor, ops
-from repro.core.dmodel.factors import LayerFactors
+from repro.core.dmodel.factors import LayerFactors, NetworkFactors, NetworkGrid
 from repro.core.dmodel.hardware import DifferentiableHardware
 from repro.mapping.mapping import LoopOrdering, ordering_for_tensor
 from repro.workloads.layer import DIMENSIONS, TENSOR_DIMS
@@ -88,8 +104,10 @@ class DifferentiableModel:
     # Traffic (Equations 6-11)
     # ------------------------------------------------------------------ #
     @staticmethod
-    def reload_factor(factors: LayerFactors, grid: FactorGrid, level: int, tensor: str):
+    def reload_factor(factors, grid: FactorGrid, level: int, tensor: str):
         """Times the level tile of ``tensor`` is refetched (loop-order aware, Eq. 6)."""
+        if isinstance(factors, NetworkFactors):
+            return DifferentiableModel._batched_reload_factor(factors, grid, level, tensor)
         relevant = TENSOR_DIMS[tensor]
         terms = []
         seen_relevant = False
@@ -106,6 +124,35 @@ class DifferentiableModel:
                 if dim in relevant:
                     seen_relevant = True
         return ops.total_prod(terms)
+
+    @staticmethod
+    def _batched_reload_factor(factors: NetworkFactors, grid: NetworkGrid,
+                               level: int, tensor: str):
+        """Batched reload factors: walk-order gathers + one fused product node.
+
+        The walk sequence (levels outward, innermost loop first within each
+        level, per-layer orderings) is materialized as an ``(L, positions)``
+        matrix by gathering the stacked temporal factors through static
+        permutation index arrays; the value-dependent skip rules live inside
+        :func:`~repro.autodiff.ops.reload_product`, which re-derives them from
+        current values on every forward/backward pass.
+        """
+        relevant_by_dim = np.array([d in TENSOR_DIMS[tensor] for d in DIMENSIONS])
+        rows = np.arange(len(factors))[:, None]
+        segments = []
+        relevant_segments = []
+        for walk_level in range(level, LEVEL_DRAM + 1):
+            perm = factors.order_perm(walk_level)
+            if walk_level == LEVEL_DRAM:
+                matrix = grid.dram_matrix
+            else:
+                # Optimized levels coincide with their positions in the stack.
+                matrix = grid.temporal_matrix[:, walk_level, :]
+            segments.append(matrix[rows, perm])
+            relevant_segments.append(relevant_by_dim[perm])
+        walk = ops.concat(segments, axis=1) if len(segments) > 1 else segments[0]
+        relevant = np.concatenate(relevant_segments, axis=1)
+        return ops.reload_product(walk, relevant, eps=_FACTOR_EPS)
 
     @staticmethod
     def distinct_tiles(factors: LayerFactors, grid: FactorGrid, level: int, tensor: str):
@@ -208,8 +255,17 @@ class DifferentiableModel:
     # Hardware derivation (Equation 1, Figure 3) over a set of layers
     # ------------------------------------------------------------------ #
     @classmethod
-    def derive_hardware(cls, all_factors: Sequence[LayerFactors]) -> DifferentiableHardware:
-        """Minimal hardware supporting every layer's current factors (differentiably)."""
+    def derive_hardware(cls, all_factors, grid: NetworkGrid | None = None,
+                        ) -> DifferentiableHardware:
+        """Minimal hardware supporting every layer's current factors (differentiably).
+
+        Accepts a list of :class:`LayerFactors` or a batched
+        :class:`NetworkFactors` (optionally with a pre-built ``grid`` so one
+        grid serves hardware derivation, evaluation and the validity penalty
+        within a single loss graph).
+        """
+        if isinstance(all_factors, NetworkFactors):
+            return cls._derive_hardware_batched(all_factors, grid)
         if not all_factors:
             raise ValueError("derive_hardware requires at least one layer")
         spatial_candidates = []
@@ -233,12 +289,50 @@ class DifferentiableModel:
         )
 
     @classmethod
+    def _derive_hardware_batched(
+        cls, factors: NetworkFactors, grid: NetworkGrid | None = None,
+    ) -> DifferentiableHardware:
+        """Batched Equation-1 derivation: fused left-fold maxima over layers.
+
+        Candidate order matches the per-layer loop (each layer's accumulator-C
+        then scratchpad-K spatial factor), so values — and the cascade tie
+        subgradients of :func:`~repro.autodiff.ops.fold_max` — coincide with
+        the chained per-layer maxima.
+        """
+        grid = grid if grid is not None else factors.factor_grid()
+        spatial_c = grid[("S", LEVEL_ACCUMULATOR, "C")]
+        spatial_k = grid[("S", LEVEL_SCRATCHPAD, "K")]
+        interleaved = ops.stack([spatial_c, spatial_k]).T.reshape(2 * len(factors))
+        accumulator_words = ops.fold_max(
+            cls.tile_words(factors, grid, LEVEL_ACCUMULATOR, "O"))
+        scratchpad_words = ops.fold_max(
+            cls.tile_words(factors, grid, LEVEL_SCRATCHPAD, "W")
+            + cls.tile_words(factors, grid, LEVEL_SCRATCHPAD, "I"))
+        return DifferentiableHardware.from_requirements(
+            spatial_factors=interleaved,
+            accumulator_words=accumulator_words,
+            scratchpad_words=scratchpad_words,
+        )
+
+    @classmethod
     def evaluate_network(
         cls,
-        all_factors: Sequence[LayerFactors],
+        all_factors,
         hardware: DifferentiableHardware | None = None,
-    ) -> list[LayerPerformance]:
-        """Evaluate every layer, deriving minimal hardware if none is given."""
+        grid: NetworkGrid | None = None,
+    ):
+        """Evaluate every layer, deriving minimal hardware if none is given.
+
+        With a list of :class:`LayerFactors` this returns one
+        :class:`LayerPerformance` per layer.  With a batched
+        :class:`NetworkFactors` it returns a single :class:`LayerPerformance`
+        whose fields are ``(L,)`` tensors — one graph for the whole network.
+        """
+        if isinstance(all_factors, NetworkFactors):
+            if hardware is None:
+                hardware = cls.derive_hardware(all_factors, grid=grid)
+            grid = grid if grid is not None else all_factors.factor_grid()
+            return cls.evaluate_layer(all_factors, hardware, grid)
         if hardware is None:
             hardware = cls.derive_hardware(all_factors)
         return [cls.evaluate_layer(factors, hardware) for factors in all_factors]

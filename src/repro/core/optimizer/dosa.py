@@ -8,6 +8,14 @@ the minimal hardware configuration is derived, and the candidate design is
 scored with the reference (Timeloop-style) model.  The best reference-scored
 design across all start points is the search result.
 
+By default the descent runs on the layer-batched model
+(:class:`~repro.core.dmodel.factors.NetworkFactors`: one array-op graph per
+step regardless of layer count) with a compiled
+:class:`~repro.autodiff.tape.Tape` replayed between rounding points and a
+fused in-place Adam — an order-of-magnitude faster inner loop whose seeded
+outcomes match the per-layer path (``DosaSettings(batched_model=False)``)
+design-for-design.
+
 Sample accounting follows the paper: every gradient step counts as one model
 evaluation ("evaluations done using Timeloop are considered equivalent to
 evaluations done using DOSA's differentiable model"), and each reference
@@ -28,9 +36,10 @@ from enum import Enum
 from typing import Callable
 
 from repro.arch.config import HardwareBounds, HardwareConfig
-from repro.autodiff import Adam
+from repro.autodiff import Adam, Tape
+from repro.eval.cache import EvaluationCache
 from repro.eval.engine import EvaluationEngine
-from repro.core.dmodel.factors import LayerFactors
+from repro.core.dmodel.factors import LayerFactors, NetworkFactors
 from repro.core.dmodel.loss import (
     best_ordering_per_layer,
     network_edp_loss,
@@ -63,7 +72,17 @@ class LoopOrderingStrategy(str, Enum):
 
 @dataclass
 class DosaSettings:
-    """Hyperparameters of the DOSA search (paper Section 6.1)."""
+    """Hyperparameters of the DOSA search (paper Section 6.1).
+
+    ``batched_model`` selects the layer-batched differentiable model
+    (:class:`~repro.core.dmodel.factors.NetworkFactors`): one array-op graph
+    per gradient step instead of one scalar graph per layer.  Loss values
+    are bit-identical to the per-layer model and gradients agree to
+    floating-point accumulation order, so seeded outcomes match; the batched
+    path is simply faster.  ``use_tape`` additionally replays a compiled
+    :class:`~repro.autodiff.tape.Tape` between rounding points instead of
+    re-tracing the graph every step (replay is bit-identical to re-tracing).
+    """
 
     num_start_points: int = 7
     gd_steps: int = 890
@@ -72,6 +91,8 @@ class DosaSettings:
     penalty_weight: float = 1e9
     ordering_strategy: LoopOrderingStrategy = LoopOrderingStrategy.ITERATE
     rejection_threshold: float = 10.0
+    batched_model: bool = True
+    use_tape: bool = True
     fixed_pe_dim: int | None = None
     # A fresh HardwareBounds per settings object (never the shared module-level
     # DEFAULT_BOUNDS instance) so one searcher's bounds can't leak into another.
@@ -107,11 +128,13 @@ class DosaSearcher:
         settings: DosaSettings | None = None,
         latency_adjuster: LatencyAdjuster | None = None,
         n_workers: int | None = None,
+        cache: EvaluationCache | None = None,
     ) -> None:
         self.network = network
         self.settings = settings or DosaSettings()
         self.latency_adjuster = latency_adjuster
         self.n_workers = n_workers
+        self.cache = cache
         self._repeats = [layer.repeats for layer in network.layers]
 
     # ------------------------------------------------------------------ #
@@ -131,9 +154,11 @@ class DosaSearcher:
             rejection_threshold=settings.rejection_threshold,
             fixed_pe_dim=settings.fixed_pe_dim,
         )
-        # One engine (and cache) per run: rounding points snap onto the same
-        # divisors across steps and start points, so repeats are common.
-        with EvaluationEngine(n_workers=self.n_workers) as engine:
+        # One engine per run: rounding points snap onto the same divisors
+        # across steps and start points, so repeats are common.  A shared
+        # cache (e.g. from an experiment harness running several strategies)
+        # persists those hits across runs.
+        with EvaluationEngine(cache=self.cache, n_workers=self.n_workers) as engine:
             for start_point in start_points:
                 if session.exhausted():
                     break
@@ -144,15 +169,29 @@ class DosaSearcher:
     def _descend_from(self, start_point: StartPoint, session: SearchSession,
                       engine: EvaluationEngine) -> None:
         settings = self.settings
-        factors = [LayerFactors.from_mapping(m) for m in start_point.mappings]
-        parameters = [p for f in factors for p in f.parameters()]
-        optimizer = Adam(parameters, lr=settings.learning_rate)
+        if settings.batched_model:
+            factors = NetworkFactors.from_mappings(start_point.mappings)
+            parameters = factors.parameters()
+        else:
+            factors = [LayerFactors.from_mapping(m) for m in start_point.mappings]
+            parameters = [p for f in factors for p in f.parameters()]
+        optimizer = Adam(parameters, lr=settings.learning_rate,
+                         fused=settings.batched_model)
+        # The compiled tape replays one traced graph between rounding points;
+        # a rounding point may re-select loop orderings (changing the graph
+        # structure), so the tape is invalidated there and re-traced.
+        tape = (Tape(lambda: self._loss(factors))
+                if settings.batched_model and settings.use_tape else None)
         evaluated_once = False
 
         for step in range(settings.gd_steps):
             optimizer.zero_grad()
-            loss = self._loss(factors)
-            loss.backward()
+            if tape is not None:
+                tape.forward()
+                tape.backward()
+            else:
+                loss = self._loss(factors)
+                loss.backward()
             optimizer.step()
             session.spend(1)
 
@@ -165,6 +204,8 @@ class DosaSearcher:
 
             session.offer(self._round_and_evaluate(factors, session, engine))
             evaluated_once = True
+            if tape is not None:
+                tape.invalidate()
             # Re-check after the rounding evaluation: the reference samples it
             # spent may themselves have crossed the budget.
             if out_of_budget or session.exhausted():
@@ -173,24 +214,36 @@ class DosaSearcher:
             session.offer(self._round_and_evaluate(factors, session, engine))
 
     # ------------------------------------------------------------------ #
-    def _loss(self, factors: list[LayerFactors]):
+    def _loss(self, factors: "list[LayerFactors] | NetworkFactors"):
         settings = self.settings
-        hardware = DifferentiableModel.derive_hardware(factors)
-        if settings.ordering_strategy is LoopOrderingStrategy.SOFTMAX:
-            objective = softmax_ordering_loss(factors, self._repeats, hardware)
+        if isinstance(factors, NetworkFactors):
+            # One factor grid serves hardware derivation, evaluation and the
+            # validity penalty — the whole loss is a single array-op graph.
+            grid = factors.factor_grid()
         else:
-            performances = DifferentiableModel.evaluate_network(factors, hardware)
+            grid = None
+        hardware = DifferentiableModel.derive_hardware(factors, grid=grid)
+        if settings.ordering_strategy is LoopOrderingStrategy.SOFTMAX:
+            objective = softmax_ordering_loss(factors, self._repeats, hardware,
+                                              grid=grid)
+        else:
+            performances = DifferentiableModel.evaluate_network(factors, hardware,
+                                                                grid=grid)
             objective = network_edp_loss(performances, self._repeats)
-        return objective + settings.penalty_weight * validity_penalty(factors)
+        return objective + settings.penalty_weight * validity_penalty(factors,
+                                                                      grid=grid)
 
     # ------------------------------------------------------------------ #
     def _round_and_evaluate(
-        self, factors: list[LayerFactors], session: SearchSession,
-        engine: EvaluationEngine,
+        self, factors: "list[LayerFactors] | NetworkFactors",
+        session: SearchSession, engine: EvaluationEngine,
     ) -> CandidateDesign:
         settings = self.settings
         max_spatial = settings.fixed_pe_dim or settings.bounds.max_pe_dim
-        rounded = [f.rounded_mapping(max_spatial=max_spatial) for f in factors]
+        if isinstance(factors, NetworkFactors):
+            rounded = factors.rounded_mappings(max_spatial=max_spatial)
+        else:
+            rounded = [f.rounded_mapping(max_spatial=max_spatial) for f in factors]
 
         if settings.ordering_strategy is LoopOrderingStrategy.ITERATE:
             selections = best_ordering_per_layer(
@@ -211,8 +264,11 @@ class DosaSearcher:
         session.spend(len(rounded))
 
         # Continue the descent from the snapped point.
-        for layer_factors, mapping in zip(factors, rounded):
-            layer_factors.load_mapping(mapping)
+        if isinstance(factors, NetworkFactors):
+            factors.load_mappings(rounded)
+        else:
+            for layer_factors, mapping in zip(factors, rounded):
+                layer_factors.load_mapping(mapping)
 
         return CandidateDesign(hardware=hardware, mappings=rounded,
                                performance=performance)

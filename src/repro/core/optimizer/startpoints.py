@@ -11,8 +11,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.arch.config import HardwareConfig, random_hardware_config
-from repro.core.dmodel.factors import LayerFactors
-from repro.core.dmodel.hardware import DifferentiableHardware
+from repro.autodiff import no_grad
+from repro.core.dmodel.factors import NetworkFactors
 from repro.core.dmodel.loss import network_edp_loss
 from repro.core.dmodel.model import DifferentiableModel
 from repro.mapping.cosa import cosa_mapping
@@ -32,11 +32,20 @@ class StartPoint:
 
 
 def predicted_edp_of_mappings(mappings: list[Mapping], repeats: list[int]) -> float:
-    """Model-predicted whole-network EDP of a set of mappings (minimal hardware)."""
-    factors = [LayerFactors.from_mapping(m) for m in mappings]
-    hardware = DifferentiableModel.derive_hardware(factors)
-    performances = DifferentiableModel.evaluate_network(factors, hardware)
-    return float(network_edp_loss(performances, repeats).data)
+    """Model-predicted whole-network EDP of a set of mappings (minimal hardware).
+
+    Runs the layer-batched model with gradients disabled: one array-op
+    forward pass per candidate start point, no graph construction.  Values
+    are bit-identical to the per-layer model, so rejection decisions are
+    unchanged.
+    """
+    with no_grad():
+        factors = NetworkFactors.from_mappings(mappings)
+        grid = factors.factor_grid()
+        hardware = DifferentiableModel.derive_hardware(factors, grid=grid)
+        performances = DifferentiableModel.evaluate_network(factors, hardware,
+                                                            grid=grid)
+        return float(network_edp_loss(performances, repeats).data)
 
 
 def generate_start_points(

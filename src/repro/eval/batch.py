@@ -32,6 +32,7 @@ from repro.arch.components import (
     LEVEL_DRAM,
     LEVEL_REGISTERS,
     LEVEL_SCRATCHPAD,
+    MEMORY_LEVELS,
     MEMORY_LEVEL_INDICES,
 )
 from repro.arch.config import HardwareConfig
@@ -44,9 +45,10 @@ from repro.mapping.mapping import (
     SPATIAL_DIMS,
     ordering_for_tensor,
 )
+from repro.timeloop.accelergy import DRAM_BLOCK_WORDS
 from repro.timeloop.loopnest import TrafficBreakdown, _FACTOR_EPS
-from repro.timeloop.model import PerformanceResult, _result_from_traffic, as_spec
-from repro.workloads.layer import DIMENSIONS, TENSOR_DIMS
+from repro.timeloop.model import PerformanceResult, as_spec
+from repro.workloads.layer import DIMENSIONS, TENSOR_DIMS, TENSORS
 
 # Loop orderings in enum declaration order; ``ordering_index`` below maps a
 # mapping's per-level orderings onto rows of the permutation table.
@@ -310,6 +312,79 @@ def _batch_validate(mappings: list[Mapping], arrays: _MappingArrays) -> None:
                 "cannot evaluate an invalid mapping: " + "; ".join(problems))
 
 
+def _dram_accesses_block_rounded(traffic: BatchTraffic) -> np.ndarray:
+    """(B,) DRAM accesses, each tensor's traffic rounded up to whole blocks.
+
+    Vectorized :func:`repro.timeloop.accelergy._dram_accesses_block_rounded`:
+    tensors accumulate in the same W, I, O order with the same
+    skip-nonpositive rule, so totals are bit-identical.
+    """
+    total = np.zeros(len(traffic))
+    for tensor in TENSORS:
+        words = np.zeros(len(traffic))
+        for table in (traffic.reads, traffic.writes, traffic.updates):
+            values = table.get(LEVEL_DRAM, {}).get(tensor)
+            if values is not None:
+                words = words + values
+        blocks = np.ceil(words / DRAM_BLOCK_WORDS) * DRAM_BLOCK_WORDS
+        total = total + np.where(words > 0.0, blocks, 0.0)
+    return total
+
+
+def _results_from_traffic_batch(
+    traffic: BatchTraffic, arrays: _MappingArrays, spec: GemminiSpec
+) -> list[PerformanceResult]:
+    """Assemble :class:`PerformanceResult` objects for a whole batch at once.
+
+    The vectorized counterpart of the per-mapping
+    :func:`repro.timeloop.model._result_from_traffic` +
+    :func:`repro.timeloop.accelergy.energy_breakdown` walk: latencies, the
+    roofline max and the energy sum are computed as ``(B,)`` arrays with the
+    scalar path's operation order, so every field stays bit-identical.
+    """
+    macs = traffic.macs
+    count = len(macs)
+    parallelism = np.maximum(arrays.spatial.reshape(count, -1).prod(axis=1), 1.0)
+    compute_latency = macs / parallelism
+
+    accesses = traffic.per_level_accesses()  # (B, levels), scalar-order sums
+    bandwidths = np.empty(len(MEMORY_LEVEL_INDICES))
+    for position, level in enumerate(MEMORY_LEVEL_INDICES):
+        bandwidth = spec.bandwidth(level)
+        if not bandwidth > 0.0:
+            raise ValueError(
+                f"cannot compute memory latency: level {level} "
+                f"({MEMORY_LEVELS[level].name}) has non-positive bandwidth "
+                f"{bandwidth!r} words/cycle"
+            )
+        bandwidths[position] = bandwidth
+    memory_latency = accesses / bandwidths
+    latency = np.maximum(compute_latency, memory_latency.max(axis=1))
+
+    # Energy in the scalar association order — mac_energy + (sum of level
+    # energies), levels inside out, the DRAM column block-rounded per tensor.
+    level_total = np.zeros(count)
+    for position, level in enumerate(MEMORY_LEVEL_INDICES):
+        level_accesses = (_dram_accesses_block_rounded(traffic)
+                          if level == LEVEL_DRAM else accesses[:, position])
+        level_total = level_total + level_accesses * spec.energy_per_access(level)
+    energy = macs * spec.mac_energy + level_total
+
+    return [
+        PerformanceResult(
+            latency_cycles=float(latency[index]),
+            energy=float(energy[index]),
+            compute_latency=float(compute_latency[index]),
+            memory_latency={level: float(memory_latency[index, position])
+                            for position, level in enumerate(MEMORY_LEVEL_INDICES)},
+            accesses={level: float(accesses[index, position])
+                      for position, level in enumerate(MEMORY_LEVEL_INDICES)},
+            macs=float(macs[index]),
+        )
+        for index in range(count)
+    ]
+
+
 def evaluate_mappings_batched(
     mappings: list[Mapping],
     spec: GemminiSpec | HardwareConfig,
@@ -328,5 +403,4 @@ def evaluate_mappings_batched(
     if check_validity:
         _batch_validate(mappings, arrays)
     traffic = batch_analyze_traffic(mappings, arrays)
-    return [_result_from_traffic(traffic.breakdown(i), mapping, spec)
-            for i, mapping in enumerate(mappings)]
+    return _results_from_traffic_batch(traffic, arrays, spec)

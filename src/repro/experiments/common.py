@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Sequence
 
+from repro.eval.cache import EvaluationCache
 from repro.search.api import SearchBudget, SearchOutcome, optimize
 from repro.utils.formatting import format_table
 
@@ -26,16 +27,20 @@ def run_search(
     settings: Any = None,
     budget: SearchBudget | int | None = None,
     n_workers: int | None = None,
+    cache: EvaluationCache | None = None,
     **searcher_kwargs,
 ) -> SearchOutcome:
     """Run one registered strategy on a named workload (unified outcome).
 
     ``n_workers`` sizes the evaluation engine's process pool for the
     reference model (``None`` keeps evaluation in-process; results are
-    identical either way, so harness outputs do not depend on it).
+    identical either way, so harness outputs do not depend on it).  ``cache``
+    lets several searches share one reference-model memo table — results are
+    bit-identical with or without it, only faster.
     """
     return optimize(workload, strategy=strategy, settings=settings,
-                    budget=budget, n_workers=n_workers, **searcher_kwargs)
+                    budget=budget, n_workers=n_workers, cache=cache,
+                    **searcher_kwargs)
 
 
 def run_strategies(
@@ -49,10 +54,15 @@ def run_strategies(
     ``strategy_settings`` maps registry names to settings objects (or ``None``
     for each strategy's defaults); the same :class:`SearchBudget` applies to
     every strategy so their traces are directly comparable.  ``n_workers``
-    is forwarded to every strategy's evaluation engine.
+    is forwarded to every strategy's evaluation engine.  All strategies share
+    one :class:`EvaluationCache`: candidates revisited across strategies
+    (identical rounded mappings on identical hardware are common) are served
+    from memory instead of re-evaluated.
     """
+    shared_cache = EvaluationCache()
     return {strategy: run_search(workload, strategy, settings=settings,
-                                 budget=budget, n_workers=n_workers)
+                                 budget=budget, n_workers=n_workers,
+                                 cache=shared_cache)
             for strategy, settings in strategy_settings.items()}
 
 

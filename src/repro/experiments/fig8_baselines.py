@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from repro.arch.baselines import baseline_accelerators
 from repro.core.optimizer import DosaSettings
+from repro.eval.cache import EvaluationCache
 from repro.experiments.common import ExperimentOutput, run_search
 from repro.search.random_mapper_search import FixedHardwareSettings
 from repro.utils.rng import SeedLike
@@ -29,18 +30,23 @@ def run(
     """EDP per workload per accelerator, with DOSA-optimized Gemmini last."""
     results: dict[str, dict[str, float]] = {}
     for workload in workloads:
+        # One reference-model cache per workload, shared by every baseline
+        # accelerator's mapper run and the DOSA run (layers repeat across
+        # them, so rounded/sampled mappings recur).
+        cache = EvaluationCache()
         per_accelerator: dict[str, float] = {}
         for baseline in baseline_accelerators():
             outcome = run_search(
                 workload, "fixed_hw_random",
                 settings=FixedHardwareSettings(mappings_per_layer=mappings_per_layer,
                                                seed=seed),
-                hardware=baseline.config)
+                hardware=baseline.config, cache=cache)
             per_accelerator[baseline.name] = outcome.best_edp
         dosa = run_search(
             workload, "dosa",
             settings=DosaSettings(num_start_points=num_start_points, gd_steps=gd_steps,
-                                  rounding_period=rounding_period, seed=seed))
+                                  rounding_period=rounding_period, seed=seed),
+            cache=cache)
         per_accelerator["Gemmini DOSA"] = dosa.best_edp
         results[workload] = per_accelerator
     return results

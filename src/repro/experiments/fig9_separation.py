@@ -23,6 +23,7 @@ from dataclasses import dataclass
 
 from repro.arch.gemmini import GemminiSpec
 from repro.core.optimizer import DosaSettings
+from repro.eval.cache import EvaluationCache
 from repro.experiments.common import ExperimentOutput, run_search
 from repro.mapping.cosa import cosa_mapping
 from repro.search.random_mapper_search import FixedHardwareSettings
@@ -45,9 +46,15 @@ class SeparationResult:
 
 def run_single(workload: str, settings: DosaSettings,
                random_mappings_per_layer: int = 1000) -> SeparationResult:
-    """One GD run on ``workload`` with all four evaluation combinations."""
+    """One GD run on ``workload`` with all four evaluation combinations.
+
+    The DOSA run and the fixed-hardware random-mapper run share one
+    reference-model cache (the mapper re-visits rounded mappings the GD run
+    already scored on the same derived hardware).
+    """
     network = get_network(workload)
-    outcome = run_search(workload, "dosa", settings=settings)
+    cache = EvaluationCache()
+    outcome = run_search(workload, "dosa", settings=settings, cache=cache)
 
     start = outcome.extras["start_points"][0]
     start_performance = evaluate_network_mappings(start.mappings, GemminiSpec(start.hardware))
@@ -60,7 +67,7 @@ def run_single(workload: str, settings: DosaSettings,
         workload, "fixed_hw_random",
         settings=FixedHardwareSettings(mappings_per_layer=random_mappings_per_layer,
                                        seed=settings.seed),
-        hardware=dosa_hardware)
+        hardware=dosa_hardware, cache=cache)
 
     return SeparationResult(
         workload=workload,

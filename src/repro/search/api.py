@@ -494,7 +494,8 @@ def optimize(
     ``n_workers`` sizes the evaluation engine's process pool (``None`` keeps
     reference evaluation in-process; results are identical either way).
     Extra keyword arguments go to the searcher constructor (e.g.
-    ``hardware=`` for the ``fixed_hw_random`` strategy).
+    ``hardware=`` for the ``fixed_hw_random`` strategy, or ``cache=`` to
+    share one :class:`~repro.eval.cache.EvaluationCache` across searches).
     """
     if isinstance(network, str):
         network = get_network(network)

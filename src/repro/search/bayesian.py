@@ -27,6 +27,7 @@ import numpy as np
 
 from repro.arch.components import LEVEL_ACCUMULATOR, LEVEL_SCRATCHPAD
 from repro.arch.config import HardwareConfig, random_hardware_config
+from repro.eval.cache import EvaluationCache
 from repro.eval.engine import EvaluationEngine
 from repro.mapping.constraints import tensor_tile_words
 from repro.mapping.mapping import Mapping
@@ -88,15 +89,17 @@ class BayesianSearcher:
     settings_type = BayesianSettings
 
     def __init__(self, network: Network, settings: BayesianSettings | None = None,
-                 n_workers: int | None = None) -> None:
+                 n_workers: int | None = None,
+                 cache: EvaluationCache | None = None) -> None:
         self.network = network
         self.settings = settings or BayesianSettings()
         self.n_workers = n_workers
+        self.cache = cache
 
     # ------------------------------------------------------------------ #
     def search(self, budget: SearchBudget | int | None = None,
                callbacks=None) -> SearchOutcome:
-        with EvaluationEngine(n_workers=self.n_workers) as engine:
+        with EvaluationEngine(cache=self.cache, n_workers=self.n_workers) as engine:
             return self._search(engine, budget=budget, callbacks=callbacks)
 
     def _search(self, engine: EvaluationEngine,

@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.arch.config import HardwareConfig
+from repro.eval.cache import EvaluationCache
 from repro.eval.engine import EvaluationEngine
 from repro.mapping.mapping import Mapping
 from repro.mapping.random_mapper import random_mapping, random_mapping_for_hardware
@@ -58,13 +59,15 @@ class FixedHardwareMapperSearcher:
     def __init__(self, network: Network,
                  settings: FixedHardwareSettings | None = None,
                  hardware: HardwareConfig | None = None,
-                 n_workers: int | None = None) -> None:
+                 n_workers: int | None = None,
+                 cache: EvaluationCache | None = None) -> None:
         if hardware is None:
             raise TypeError("FixedHardwareMapperSearcher requires hardware=...")
         self.network = network
         self.settings = settings or FixedHardwareSettings()
         self.hardware = hardware
         self.n_workers = n_workers
+        self.cache = cache
 
     def search(self, budget: SearchBudget | int | None = None,
                callbacks=None) -> SearchOutcome:
@@ -77,7 +80,7 @@ class FixedHardwareMapperSearcher:
         per_layer = []
         total_latency = 0.0
         total_energy = 0.0
-        with EvaluationEngine(n_workers=self.n_workers) as engine:
+        with EvaluationEngine(cache=self.cache, n_workers=self.n_workers) as engine:
             for layer in self.network.layers:
 
                 def generate(layer=layer):

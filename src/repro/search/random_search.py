@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.arch.config import random_hardware_config
+from repro.eval.cache import EvaluationCache
 from repro.eval.engine import EvaluationEngine
 from repro.mapping.mapping import Mapping
 from repro.mapping.random_mapper import random_mapping_for_hardware
@@ -54,10 +55,12 @@ class RandomSearcher:
     settings_type = RandomSearchSettings
 
     def __init__(self, network: Network, settings: RandomSearchSettings | None = None,
-                 n_workers: int | None = None) -> None:
+                 n_workers: int | None = None,
+                 cache: EvaluationCache | None = None) -> None:
         self.network = network
         self.settings = settings or RandomSearchSettings()
         self.n_workers = n_workers
+        self.cache = cache
 
     def search(self, budget: SearchBudget | int | None = None,
                callbacks=None) -> SearchOutcome:
@@ -66,7 +69,7 @@ class RandomSearcher:
         session = SearchSession("random", budget=budget, callbacks=callbacks,
                                 settings=settings, network=self.network)
 
-        with EvaluationEngine(n_workers=self.n_workers) as engine:
+        with EvaluationEngine(cache=self.cache, n_workers=self.n_workers) as engine:
             for _ in range(settings.num_hardware_designs):
                 if session.exhausted():
                     break

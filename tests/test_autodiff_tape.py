@@ -1,0 +1,187 @@
+"""Tape replay, fused reductions, and the fused Adam update path.
+
+The compiled tape must be *exactly* re-tracing: every assertion here is
+bitwise (``==`` / ``array_equal``), not tolerance-based, because the DOSA
+inner loop relies on replayed steps being indistinguishable from re-traced
+ones.
+"""
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Adam, Tape, TapeError, Tensor, ops
+
+
+def _make_params():
+    p = Tensor(np.array([0.4, 1.2, 2.5]), requires_grad=True, name="p")
+    q = Tensor(np.array([[1.0, -0.5], [0.25, 2.0]]), requires_grad=True, name="q")
+    return p, q
+
+
+def _loss_fn(p, q):
+    a = ops.exp(p) * 2.0 + ops.relu(p - 1.0)
+    b = ops.maximum((q * q).sum(), a.sum())
+    c = ops.softmax(p).sum() + ops.fold_max(a) + ops.fold_sum(a)
+    return b * 0.5 + c
+
+
+class TestTapeReplay:
+    def test_replay_matches_retrace_bitwise_across_steps(self):
+        p, q = _make_params()
+        tape = Tape(lambda: _loss_fn(p, q))
+        optimizer = Adam([p, q], lr=0.1, fused=True)
+
+        p2 = Tensor(p.data.copy(), requires_grad=True)
+        q2 = Tensor(q.data.copy(), requires_grad=True)
+        reference_optimizer = Adam([p2, q2], lr=0.1)
+
+        for _ in range(6):
+            optimizer.zero_grad()
+            loss = tape.forward()
+            tape.backward()
+
+            reference_optimizer.zero_grad()
+            reference = _loss_fn(p2, q2)
+            reference.backward()
+
+            assert float(loss.data) == float(reference.data)
+            assert np.array_equal(p.grad, p2.grad)
+            assert np.array_equal(q.grad, q2.grad)
+            optimizer.step()
+            reference_optimizer.step()
+            assert np.array_equal(p.data, p2.data)
+            assert np.array_equal(q.data, q2.data)
+
+    def test_replay_tracks_mask_flips(self):
+        """relu/maximum masks are re-derived, not frozen at trace time."""
+        p = Tensor(np.array([2.0]), requires_grad=True)
+        tape = Tape(lambda: ops.relu(p - 1.0).sum())
+        tape.forward()
+        tape.backward()
+        assert p.grad[0] == 1.0
+        p.data = np.array([0.5])  # flips the relu mask
+        p.zero_grad()
+        assert float(tape.forward().data) == 0.0
+        tape.backward()
+        assert p.grad[0] == 0.0
+
+    def test_invalidate_retraces(self):
+        p, _ = _make_params()
+        structure = [ops.fold_sum(p)]
+        tape = Tape(lambda: structure[0])
+        assert float(tape.forward().data) == float(np.cumsum(p.data)[-1])
+        assert tape.recorded and tape.num_nodes > 0
+        structure[0] = ops.fold_max(p)  # new graph structure
+        tape.invalidate()
+        assert not tape.recorded
+        assert float(tape.forward().data) == p.data.max()
+
+    def test_trace_errors(self):
+        p, _ = _make_params()
+        with pytest.raises(TapeError):
+            Tape(lambda: p * 2.0).forward()  # non-scalar loss
+        with pytest.raises(TapeError):
+            Tape(lambda: Tensor(1.0)).forward()  # no grad path
+        with pytest.raises(TapeError):
+            Tape(lambda: (p * 2.0).sum()).backward()  # backward before forward
+
+
+class TestFoldReductions:
+    def test_fold_sum_matches_total_sum_chain(self):
+        values = np.array([1e16, 1.0, -1e16, 3.0, 7.5])
+        x = Tensor(values, requires_grad=True)
+        chained = ops.total_sum([x[i] for i in range(len(values))])
+        folded = ops.fold_sum(x)
+        assert float(folded.data) == float(chained.data)
+        folded.backward()
+        assert np.array_equal(x.grad, np.ones_like(values))
+
+    def test_fold_max_matches_chained_maximum_with_ties(self):
+        values = np.array([2.0, 5.0, 5.0, 3.0, 5.0, 1.0])
+        x = Tensor(values, requires_grad=True)
+        ops.fold_max(x).backward()
+        y = Tensor(values.copy(), requires_grad=True)
+        chained = y[0]
+        for i in range(1, len(values)):
+            chained = ops.maximum(chained, y[i])
+        chained.backward()
+        assert np.array_equal(x.grad, y.grad)
+
+    def test_fold_max_single_element(self):
+        x = Tensor(np.array([4.0]), requires_grad=True)
+        out = ops.fold_max(x)
+        out.backward()
+        assert float(out.data) == 4.0 and x.grad[0] == 1.0
+
+    def test_reload_product_matches_gated_chain(self):
+        rng = np.random.default_rng(0)
+        walk_values = rng.uniform(0.5, 6.0, size=(4, 9))
+        relevant = rng.random((4, 9)) > 0.5
+        x = Tensor(walk_values, requires_grad=True)
+        out = ops.reload_product(x, relevant)
+        out.backward(np.ones(4))
+
+        for row in range(4):
+            y = Tensor(walk_values[row].copy(), requires_grad=True)
+            terms = []
+            seen_relevant = False
+            for position in range(walk_values.shape[1]):
+                if walk_values[row, position] <= 1.0 + 1e-9:
+                    continue
+                if not seen_relevant and not relevant[row, position]:
+                    continue
+                terms.append(y[position])
+                if relevant[row, position]:
+                    seen_relevant = True
+            chained = ops.total_prod(terms)
+            assert float(out.data[row]) == float(chained.data)
+            chained.backward()
+            assert np.allclose(x.grad[row], y.grad, rtol=1e-12, atol=0.0)
+
+
+class TestFusedAdam:
+    def test_fused_matches_default_bitwise(self):
+        rng = np.random.default_rng(3)
+        data = rng.normal(size=(5, 3))
+        a = Tensor(data.copy(), requires_grad=True)
+        b = Tensor(data.copy(), requires_grad=True)
+        fused = Adam([a], lr=0.07, fused=True)
+        default = Adam([b], lr=0.07, fused=False)
+        for step in range(5):
+            grad = rng.normal(size=data.shape)
+            a.grad = grad.copy()
+            b.grad = grad.copy()
+            fused.step()
+            default.step()
+            assert np.array_equal(a.data, b.data), step
+
+    def test_fused_updates_in_place(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        buffer = a.data
+        a.grad = np.ones(3)
+        Adam([a], lr=0.1, fused=True).step()
+        assert a.data is buffer  # mutated, not replaced
+
+    def test_zero_grad_drops_to_none_and_backward_initializes(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        optimizer = Adam([a], lr=0.1)
+        (a * 3.0).sum().backward()
+        assert a.grad is not None
+        optimizer.zero_grad()
+        assert a.grad is None  # no zero array is allocated
+        (a * 2.0).sum().backward()
+        assert np.array_equal(a.grad, np.full(3, 2.0))
+        optimizer.step()  # parameters with fresh grads step normally
+
+    def test_grads_are_owned_writable_and_unaliased(self):
+        """Initialized grads stay safe for in-place consumers (e.g. clipping)."""
+        a = Tensor(np.ones(2), requires_grad=True)
+        b = Tensor(np.ones(2), requires_grad=True)
+        (a + b).backward(np.ones(2))
+        assert a.grad is not b.grad
+        a.grad *= 2.0  # must not touch b.grad nor raise on a read-only view
+        assert np.array_equal(b.grad, np.ones(2))
+        x = Tensor(np.ones(4), requires_grad=True)
+        x.sum().backward()
+        x.grad += 1.0  # broadcast-view contributions must be materialized
+        assert np.array_equal(x.grad, np.full(4, 2.0))

@@ -14,6 +14,7 @@ from repro.core.dmodel import (
     DifferentiableHardware,
     DifferentiableModel,
     LayerFactors,
+    NetworkFactors,
     network_edp_loss,
     softmax_ordering_loss,
     validity_penalty,
@@ -105,6 +106,33 @@ class TestFullModelGradients:
             return softmax_ordering_loss(factors, [1])
 
         _check_model_gradients(factors, loss_fn)
+
+    def test_batched_derived_hardware_network_edp_with_penalty(self):
+        """Gradcheck the layer-batched model directly (NetworkFactors leaves)."""
+        layers = [conv2d_layer(16, 32, 14), matmul_layer(28, 64, 32)]
+        per_layer = [_perturb_off_kinks(LayerFactors.from_mapping(cosa_mapping(l, CONFIG)),
+                                        seed=i) for i, l in enumerate(layers)]
+        factors = NetworkFactors.from_layer_factors(per_layer)
+
+        def loss_fn():
+            grid = factors.factor_grid()
+            hardware = DifferentiableModel.derive_hardware(factors, grid=grid)
+            performances = DifferentiableModel.evaluate_network(factors, hardware,
+                                                                grid=grid)
+            return (network_edp_loss(performances, [1, 2])
+                    + 1e6 * validity_penalty(factors, grid=grid))
+
+        _check_model_gradients([factors], loss_fn)
+
+    def test_batched_softmax_ordering_loss_gradients(self):
+        per_layer = [_perturb_off_kinks(LayerFactors.from_mapping(
+            cosa_mapping(conv2d_layer(16, 32, 14), CONFIG)), seed=5)]
+        factors = NetworkFactors.from_layer_factors(per_layer)
+
+        def loss_fn():
+            return softmax_ordering_loss(factors, [1])
+
+        _check_model_gradients([factors], loss_fn)
 
     def test_penalty_gradient_pushes_factors_up(self):
         factors = LayerFactors.from_mapping(
