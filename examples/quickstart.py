@@ -1,50 +1,35 @@
-"""Quickstart: co-search hardware and mappings for a small DNN with repro.optimize().
+"""Quickstart: co-search hardware and mappings with one repro.optimize() call.
 
-Runs the DOSA one-loop gradient search on a three-layer network through the
-unified search API — one call, a sample budget, and live progress callbacks —
-then prints the derived hardware configuration, the best mapping of each
-layer, and a comparison against the random-search baseline run through the
-same API with the same budget.
+The block between the two ``README quickstart`` markers below is embedded
+*verbatim* in the top-level README.md (the docs CI job,
+``scripts/check_docs.py``, fails if the two copies drift apart).  It runs the
+DOSA one-loop gradient search on BERT through the unified search API — one
+call, a sample budget, live progress callbacks — and prints the best design.
 
-Run with:  python examples/quickstart.py
+Run with:  PYTHONPATH=src python examples/quickstart.py
 """
 
+# --- README quickstart ---
 import repro
-from repro.workloads import conv2d_layer, matmul_layer
-from repro.workloads.networks import Network
+
+outcome = repro.optimize(
+    "bert", strategy="dosa", seed=0,
+    budget=repro.SearchBudget(max_samples=500),
+    callbacks=repro.ProgressCallback(prefix="[dosa]"),
+)
+print(f"best EDP {outcome.best_edp:.4e} after {outcome.total_samples} samples")
+print(f"derived hardware: {outcome.best_hardware.describe()}")
+# --- end README quickstart ---
 
 
-def build_workload() -> Network:
-    """A small image-classification-style workload: stem conv, block, classifier."""
-    return Network(name="quickstart", layers=[
-        conv2d_layer(3, 64, 56, kernel_size=7, stride=2, name="stem"),
-        conv2d_layer(64, 64, 56, kernel_size=3, name="block", repeats=4),
-        matmul_layer(1, 2048, 1000, name="classifier"),
-    ])
-
-
-def main() -> None:
-    network = build_workload()
-    print(network.describe())
+def compare_against_random_baseline() -> None:
+    """The same budget through the same API, different strategy (Figure 7)."""
+    baseline = repro.optimize("bert", strategy="random",
+                              budget=repro.SearchBudget(max_samples=500), seed=0)
     print()
     print(f"available strategies: {', '.join(repro.available_strategies())}")
-    print()
-
-    # One entry point for every strategy: same budget, same outcome type.
-    budget = repro.SearchBudget(max_samples=800)
-    outcome = repro.optimize(network, strategy="dosa", budget=budget, seed=0,
-                             callbacks=repro.ProgressCallback(prefix="[dosa]"))
-    baseline = repro.optimize(network, strategy="random", budget=budget, seed=0)
-
-    print()
-    print("Search finished.")
-    print(f"  samples used:        {outcome.total_samples} "
-          f"(budget: {budget.max_samples})")
-    print(f"  wall time:           {outcome.wall_time_seconds:.1f}s")
-    print(f"  best EDP found:      {outcome.best_edp:.4e}")
-    print(f"  random baseline EDP: {baseline.best_edp:.4e} "
-          f"({baseline.best_edp / outcome.best_edp:.2f}x worse)")
-    print(f"  derived hardware:    {outcome.best_hardware.describe()}")
+    print(f"random baseline EDP:  {baseline.best_edp:.4e} "
+          f"({baseline.best_edp / outcome.best_edp:.2f}x worse than dosa)")
     print()
     for mapping in outcome.best_mappings:
         print(mapping.describe())
@@ -52,4 +37,4 @@ def main() -> None:
 
 
 if __name__ == "__main__":
-    main()
+    compare_against_random_baseline()

@@ -1,0 +1,114 @@
+#!/usr/bin/env python
+"""Docs CI gate: intra-repo link checking plus the verbatim quickstart snippet.
+
+Checks, in order:
+
+1. Every relative markdown link in ``README.md``, ``docs/*.md`` and
+   ``benchmarks/README.md`` points at a file that exists in the repository,
+   and any ``#anchor`` fragment on a markdown target matches one of that
+   file's heading slugs (GitHub slug rules).  External ``http(s)://`` and
+   ``mailto:`` links are skipped — CI must not depend on the network.
+2. The code block between the ``--- README quickstart ---`` markers in
+   ``examples/quickstart.py`` appears *verbatim* inside ``README.md``, so the
+   README example is, character for character, the code that the CI smoke
+   actually runs.
+
+Exits non-zero listing every failure (the job prints all problems in one run
+rather than stopping at the first).
+
+Run with:  python scripts/check_docs.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+DOC_FILES = (
+    ["README.md", "benchmarks/README.md"]
+    + sorted(str(p.relative_to(REPO_ROOT)) for p in (REPO_ROOT / "docs").glob("*.md"))
+)
+
+QUICKSTART = "examples/quickstart.py"
+QUICKSTART_BEGIN = "# --- README quickstart ---"
+QUICKSTART_END = "# --- end README quickstart ---"
+
+# [text](target) — excluding images' leading "!" handled identically anyway.
+_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+_FENCE_RE = re.compile(r"^```.*?^```", re.MULTILINE | re.DOTALL)
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug for a markdown heading."""
+    text = re.sub(r"[`*_]", "", heading.strip()).lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def heading_slugs(markdown: str) -> set[str]:
+    slugs: set[str] = set()
+    counts: dict[str, int] = {}
+    # Headings inside fenced code blocks are not headings.
+    for heading in _HEADING_RE.findall(_FENCE_RE.sub("", markdown)):
+        slug = github_slug(heading)
+        n = counts.get(slug, 0)
+        counts[slug] = n + 1
+        slugs.add(slug if n == 0 else f"{slug}-{n}")
+    return slugs
+
+
+def check_links(doc_path: str, errors: list[str]) -> None:
+    source = REPO_ROOT / doc_path
+    markdown = source.read_text()
+    for target in _LINK_RE.findall(markdown):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        path_part, _, anchor = target.partition("#")
+        if not path_part:  # same-file anchor
+            resolved = source
+        else:
+            resolved = (source.parent / path_part).resolve()
+            if not resolved.exists():
+                errors.append(f"{doc_path}: broken link -> {target}")
+                continue
+        if anchor and resolved.suffix == ".md":
+            if anchor not in heading_slugs(resolved.read_text()):
+                errors.append(f"{doc_path}: broken anchor -> {target}")
+
+
+def check_quickstart_snippet(errors: list[str]) -> None:
+    example = (REPO_ROOT / QUICKSTART).read_text()
+    try:
+        begin = example.index(QUICKSTART_BEGIN) + len(QUICKSTART_BEGIN)
+        end = example.index(QUICKSTART_END)
+    except ValueError:
+        errors.append(f"{QUICKSTART}: quickstart markers missing")
+        return
+    snippet = example[begin:end].strip("\n")
+    if snippet not in (REPO_ROOT / "README.md").read_text():
+        errors.append(
+            f"README.md quickstart block has drifted from {QUICKSTART} "
+            f"(the code between the '{QUICKSTART_BEGIN}' markers must appear "
+            "in README.md verbatim)")
+
+
+def main() -> int:
+    errors: list[str] = []
+    for doc_path in DOC_FILES:
+        check_links(doc_path, errors)
+    check_quickstart_snippet(errors)
+    if errors:
+        for error in errors:
+            print(f"FAIL {error}", file=sys.stderr)
+        return 1
+    links = sum(len(_LINK_RE.findall((REPO_ROOT / d).read_text())) for d in DOC_FILES)
+    print(f"docs OK: {len(DOC_FILES)} files, {links} links, quickstart snippet verbatim")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -179,7 +179,7 @@ def mean(values: Iterable[TensorLike]) -> Tensor:
 
 
 def stack(values: Sequence[TensorLike]) -> Tensor:
-    """Stack scalars/1-D tensors of identical shape into a new leading axis."""
+    """Stack same-shape tensors (scalars, vectors, matrices) into a new leading axis."""
     tensors = [_as_tensor(v) for v in values]
     if not tensors:
         raise ValueError("stack of an empty sequence")
@@ -214,6 +214,26 @@ def concat(values: Sequence[TensorLike], axis: int = 0) -> Tensor:
         return tuple(pieces)
 
     return tensors[0]._make_child(forward(), tuple(tensors), backward, forward)
+
+
+def transpose(x: TensorLike, axes: Sequence[int]) -> Tensor:
+    """Permute the axes of a tensor (``np.transpose`` with explicit axes).
+
+    Used by the multi-start model to interleave per-layer columns inside each
+    start's row (e.g. ``(2, S, L) -> (S, L, 2)`` before flattening to the
+    per-start candidate order of the hardware derivation).
+    """
+    x = _as_tensor(x)
+    axes = tuple(int(a) for a in axes)
+    inverse = tuple(int(a) for a in np.argsort(axes))
+
+    def forward():
+        return np.transpose(x.data, axes)
+
+    def backward(grad: np.ndarray):
+        return ((x, np.transpose(grad, inverse)),)
+
+    return x._make_child(forward(), (x,), backward, forward)
 
 
 def softmax(x: TensorLike, axis: int = -1) -> Tensor:
@@ -273,75 +293,87 @@ def dot(a: Sequence[TensorLike] | Tensor, b: Sequence[TensorLike] | Tensor) -> T
 # --------------------------------------------------------------------------- #
 # Fused reductions for the layer-batched DOSA model
 # --------------------------------------------------------------------------- #
-def fold_sum(x: TensorLike) -> Tensor:
-    """Left-fold sum over a 1-D tensor, as a single node.
+def fold_sum(x: TensorLike, axis: int = -1) -> Tensor:
+    """Left-fold sum along ``axis``, as a single node.
 
     Value-identical to chaining ``x[0] + x[1] + ...`` the way
     :func:`total_sum` folds a Python list (NumPy's ``sum`` uses pairwise
-    summation, which rounds differently).  The backward pass broadcasts the
-    incoming gradient, which is order-independent.
+    summation, which rounds differently).  On a 1-D tensor this reduces to a
+    scalar; on an ``(S, L)`` stack it reduces every row independently (the
+    multi-start model folds each start's layers exactly as the per-start fold
+    would).  The backward pass broadcasts the incoming gradient along the
+    reduced axis, which is order-independent.
     """
     x = _as_tensor(x)
-    if x.data.ndim != 1 or x.data.size == 0:
-        raise ValueError(f"fold_sum expects a non-empty 1-D tensor, got shape {x.shape}")
+    if x.data.ndim == 0 or x.data.size == 0:
+        raise ValueError(f"fold_sum expects a non-empty tensor with ndim >= 1, "
+                         f"got shape {x.shape}")
+    axis_n = axis % x.data.ndim
 
     def forward():
-        return np.asarray(np.cumsum(x.data)[-1])
+        return np.asarray(np.take(np.cumsum(x.data, axis=axis_n), -1, axis=axis_n))
 
     def backward(grad: np.ndarray):
-        grad_value = float(np.asarray(grad).reshape(-1)[0])
-        return ((x, np.full(x.data.size, grad_value)),)
+        grad = np.expand_dims(np.asarray(grad, dtype=np.float64), axis_n)
+        return ((x, np.broadcast_to(grad, x.data.shape)),)
 
     return x._make_child(forward(), (x,), backward, forward)
 
 
-def fold_max(x: TensorLike) -> Tensor:
-    """Left-fold maximum over a 1-D tensor, as a single node.
+def fold_max(x: TensorLike, axis: int = -1) -> Tensor:
+    """Left-fold maximum along ``axis``, as a single node.
 
     Equivalent — in value *and* subgradient — to chaining
     ``maximum(maximum(x[0], x[1]), x[2]) ...`` the way the per-layer hardware
     derivation folds its candidates: at every pairwise tie the gradient splits
     0.5/0.5, so earlier tied candidates receive geometrically smaller shares
-    (unlike :meth:`Tensor.max`, which splits evenly among *all* ties).
+    (unlike :meth:`Tensor.max`, which splits evenly among *all* ties).  Like
+    :func:`fold_sum`, rows of an N-D tensor fold independently, so each start
+    of a multi-start stack sees exactly the per-start fold semantics.
     """
     x = _as_tensor(x)
-    if x.data.ndim != 1:
-        raise ValueError(f"fold_max expects a 1-D tensor, got shape {x.shape}")
+    if x.data.ndim == 0:
+        raise ValueError(f"fold_max expects a tensor with ndim >= 1, got shape {x.shape}")
+    axis_n = axis % x.data.ndim
 
     def forward():
-        return np.asarray(np.maximum.reduce(x.data))
+        return np.asarray(np.maximum.reduce(x.data, axis=axis_n))
 
     def backward(grad: np.ndarray):
-        grad_value = float(np.asarray(grad).reshape(-1)[0])
-        data = x.data
-        n = data.size
+        data = np.moveaxis(x.data, axis_n, -1)
+        grad = np.asarray(grad, dtype=np.float64)[..., None]
+        n = data.shape[-1]
         if n == 1:
-            return ((x, np.full(1, grad_value)),)
-        running = np.maximum.accumulate(data)
-        prev, new = running[:-1], data[1:]
+            contribution = np.broadcast_to(grad, data.shape)
+            return ((x, np.moveaxis(contribution, -1, axis_n)),)
+        running = np.maximum.accumulate(data, axis=-1)
+        prev, new = running[..., :-1], data[..., 1:]
         # Share of the gradient taken by each newcomer / kept by the running
         # max at every fold step (ties split evenly, as in ops.maximum).
         take = (new > prev) + 0.5 * (new == prev)
         keep = 1.0 - take
-        suffix = np.ones(n)
-        np.multiply.accumulate(keep[::-1], out=suffix[-2::-1])
-        shares = np.empty(n)
-        shares[0] = suffix[0]
-        shares[1:] = take * suffix[1:]
-        return ((x, grad_value * shares),)
+        suffix = np.ones_like(data)
+        np.multiply.accumulate(keep[..., ::-1], axis=-1, out=suffix[..., -2::-1])
+        shares = np.empty_like(data)
+        shares[..., 0] = suffix[..., 0]
+        shares[..., 1:] = take * suffix[..., 1:]
+        return ((x, np.moveaxis(grad * shares, -1, axis_n)),)
 
     return x._make_child(forward(), (x,), backward, forward)
 
 
 def reload_product(walk: Tensor, relevant: np.ndarray, eps: float = 1e-9) -> Tensor:
-    """Loop-order-aware reload-factor product over a ``(B, positions)`` walk.
+    """Loop-order-aware reload-factor product over a ``(..., positions)`` walk.
 
     ``walk`` holds, per batch row, the temporal factors in walk order (levels
     outward, innermost loop first within each level); ``relevant`` marks the
-    positions whose dimension is relevant to the tensor being analyzed.  A
-    position multiplies into the product iff its factor exceeds ``1 + eps``
-    and it is either relevant or preceded by an active relevant position —
-    exactly the ``seen_relevant`` state machine of
+    positions whose dimension is relevant to the tensor being analyzed.  Any
+    number of leading batch axes is supported — ``(L, positions)`` for the
+    layer-batched model, ``(S, L, positions)`` for the multi-start model —
+    with each row reduced independently along the last axis.  A position
+    multiplies into the product iff its factor exceeds ``1 + eps`` and it is
+    either relevant or preceded by an active relevant position — exactly the
+    ``seen_relevant`` state machine of
     :func:`repro.timeloop.loopnest.reload_factor` and its differentiable
     counterpart.  Excluded positions contribute a factor of exactly 1.0 and
     receive zero gradient, matching the per-layer graph that simply omits
@@ -357,22 +389,22 @@ def reload_product(walk: Tensor, relevant: np.ndarray, eps: float = 1e-9) -> Ten
     def include_mask() -> np.ndarray:
         active = walk.data > 1.0 + eps
         relevant_active = active & relevant
-        seen_before = (np.cumsum(relevant_active, axis=1) - relevant_active) > 0
+        seen_before = (np.cumsum(relevant_active, axis=-1) - relevant_active) > 0
         return active & (relevant | seen_before)
 
     def forward():
         gated = np.where(include_mask(), walk.data, 1.0)
-        return np.multiply.reduce(gated, axis=1)
+        return np.multiply.reduce(gated, axis=-1)
 
     def backward(grad: np.ndarray):
         include = include_mask()
         gated = np.where(include, walk.data, 1.0)
         prefix = np.ones_like(gated)
         suffix = np.ones_like(gated)
-        if gated.shape[1] > 1:
-            np.multiply.accumulate(gated[:, :-1], axis=1, out=prefix[:, 1:])
-            np.multiply.accumulate(gated[:, :0:-1], axis=1, out=suffix[:, -2::-1])
-        partials = grad[:, None] * prefix * suffix
+        if gated.shape[-1] > 1:
+            np.multiply.accumulate(gated[..., :-1], axis=-1, out=prefix[..., 1:])
+            np.multiply.accumulate(gated[..., :0:-1], axis=-1, out=suffix[..., -2::-1])
+        partials = grad[..., None] * prefix * suffix
         return ((walk, np.where(include, partials, 0.0)),)
 
     return walk._make_child(forward(), (walk,), backward, forward)

@@ -5,14 +5,22 @@ the whole-model energy-delay product is differentiable with respect to every
 layer's spatial and temporal tiling factors — which is what enables the
 one-loop, mapping-first gradient-descent search.
 
-Two interchangeable parameterizations are provided: the per-layer
-:class:`LayerFactors` (one scalar graph per layer) and the layer-batched
+Three interchangeable parameterizations are provided: the per-layer
+:class:`LayerFactors` (one scalar graph per layer), the layer-batched
 :class:`NetworkFactors` (all layers stacked into two tensors, one array graph
-per network — the fast path of the GD inner loop).
+per network), and the start-batched :class:`MultiStartFactors` (S start
+points x L layers stacked into one graph — the fast path of the whole
+multi-start GD search).
 """
 
 from repro.core.dmodel.hardware import DifferentiableHardware
-from repro.core.dmodel.factors import LayerFactors, NetworkFactors, NetworkGrid
+from repro.core.dmodel.factors import (
+    LayerFactors,
+    MultiStartFactors,
+    MultiStartGrid,
+    NetworkFactors,
+    NetworkGrid,
+)
 from repro.core.dmodel.model import DifferentiableModel, LayerPerformance
 from repro.core.dmodel.loss import (
     best_ordering_per_layer,
@@ -24,6 +32,8 @@ from repro.core.dmodel.loss import (
 __all__ = [
     "DifferentiableHardware",
     "LayerFactors",
+    "MultiStartFactors",
+    "MultiStartGrid",
     "NetworkFactors",
     "NetworkGrid",
     "DifferentiableModel",

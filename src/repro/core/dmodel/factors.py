@@ -12,7 +12,7 @@ keeps them strictly positive under unconstrained gradient updates; the
 Equation-18 hinge penalty still discourages values below 1 so the inferred
 DRAM factors stay valid.
 
-Two parameterizations share these semantics:
+Three parameterizations share these semantics:
 
 * :class:`LayerFactors` — one layer, scalar-graph factors.  Each forward pass
   over L layers builds L small graphs of hundreds of scalar nodes.
@@ -25,6 +25,13 @@ Two parameterizations share these semantics:
   re-snapped at rounding points), and the per-factor structural masks are
   re-derived from current values on every pass inside
   :func:`repro.autodiff.ops.reload_product`.
+* :class:`MultiStartFactors` — one axis further: the factors of S independent
+  gradient-descent *start points* over the same L layers, stacked into
+  ``(S, L, levels, dims)`` and ``(S, L, 2)`` tensors.  One forward/backward
+  pass advances every start point of a DOSA search at once; since the starts
+  share no graph nodes across rows, per-start losses, gradients and hence
+  descent trajectories are bit-identical to running S separate
+  :class:`NetworkFactors` descents.
 """
 
 from __future__ import annotations
@@ -444,3 +451,255 @@ class NetworkFactors:
         names = [layer.name or "?" for layer in self.layers]
         return (f"NetworkFactors({len(self.layers)} layers: {names}, "
                 f"{int(self.dim_mask.sum())} active dims)")
+
+
+# --------------------------------------------------------------------------- #
+# Start-point-batched parameterization
+# --------------------------------------------------------------------------- #
+class MultiStartGrid(dict):
+    """Start-batched factor grid: ``(kind, level, dim) -> (S, L) Tensor | float``.
+
+    Same keying as :class:`NetworkGrid`, with one ``(S, L)`` matrix per factor
+    instead of an ``(L,)`` column: row ``s`` is exactly the column the
+    :class:`NetworkFactors` grid of start point ``s`` would hold.
+    """
+
+    temporal_matrix: "Tensor"  # (S, L, optimized levels, dims)
+    dram_matrix: "Tensor"      # (S, L, dims) inferred DRAM temporal factors
+
+
+class MultiStartFactors(NetworkFactors):
+    """Differentiable tiling factors of S start points x L layers.
+
+    The GD optimization variables of *every* start point of a DOSA search as
+    two leaf tensors: ``log_temporal`` of shape
+    ``(S, L, len(OPTIMIZED_LEVELS), NUM_DIMS)`` and ``log_spatial`` of shape
+    ``(S, L, len(SPATIAL_DIMS))``.  One gradient step through this
+    parameterization advances all S descents in a single array-op graph —
+    the start-point-batched counterpart of S :class:`NetworkFactors`.
+
+    Start points are independent: no graph node mixes rows, every reduction
+    (:func:`~repro.autodiff.ops.fold_sum`, :func:`~repro.autodiff.ops.fold_max`,
+    :func:`~repro.autodiff.ops.reload_product`) folds along the trailing axes
+    only, and the scalar training loss is the fold of the per-start losses —
+    whose gradient into each start is exactly the gradient of that start's own
+    loss.  Per-start values and gradients are therefore bit-identical to S
+    separate single-start passes, which is what lets
+    ``DosaSettings(batched_starts=True)`` keep seeded outcomes design-identical
+    to the sequential schedule.
+
+    ``layers``, ``dim_sizes`` and the stride arrays are shared across starts
+    (every start descends the same network); ``dim_mask`` is the layer mask
+    broadcast to ``(S, L, NUM_DIMS)``.  Loop orderings are tracked per start
+    *and* per layer in ``start_orderings``; the compiled walk-order
+    permutations become ``(S, L, dims)`` gather arrays.
+    """
+
+    def __init__(
+        self,
+        layers: Sequence[LayerDims],
+        num_starts: int,
+        log_temporal: np.ndarray | None = None,
+        log_spatial: np.ndarray | None = None,
+        orderings: "Sequence[Sequence[Sequence[LoopOrdering]]] | None" = None,
+    ) -> None:
+        if not layers:
+            raise ValueError("MultiStartFactors requires at least one layer")
+        if num_starts < 1:
+            raise ValueError("MultiStartFactors requires at least one start point")
+        self.layers = list(layers)
+        self.num_starts = int(num_starts)
+        count = len(self.layers)
+        shape_t = (self.num_starts, count, len(OPTIMIZED_LEVELS), NUM_DIMS)
+        shape_s = (self.num_starts, count, len(SPATIAL_DIMS))
+        if log_temporal is None:
+            log_temporal = np.zeros(shape_t)
+        if log_spatial is None:
+            log_spatial = np.zeros(shape_s)
+        log_temporal = np.asarray(log_temporal, dtype=np.float64)
+        log_spatial = np.asarray(log_spatial, dtype=np.float64)
+        if log_temporal.shape != shape_t:
+            raise ValueError(f"log_temporal must have shape {shape_t}, "
+                             f"got {log_temporal.shape}")
+        if log_spatial.shape != shape_s:
+            raise ValueError(f"log_spatial must have shape {shape_s}, "
+                             f"got {log_spatial.shape}")
+        self.log_temporal = Tensor(log_temporal, requires_grad=True,
+                                   name="multistart:log_temporal")
+        self.log_spatial = Tensor(log_spatial, requires_grad=True,
+                                  name="multistart:log_spatial")
+        if orderings is None:
+            orderings = [[DEFAULT_ORDERINGS] * count] * self.num_starts
+        self.start_orderings: list[list[tuple[LoopOrdering, ...]]] = [
+            [tuple(o) for o in start] for start in orderings]
+        if (len(self.start_orderings) != self.num_starts
+                or any(len(start) != count for start in self.start_orderings)):
+            raise ValueError("orderings must hold one per-level tuple per "
+                             "start point per layer")
+        self.dim_sizes = np.array(
+            [[float(layer.dim(d)) for d in DIMENSIONS] for layer in self.layers],
+            dtype=np.float64,
+        )
+        # The per-layer padding mask, broadcast over the start axis: all
+        # starts descend the same network, so the mask is one (L, dims) table
+        # viewed as (S, L, dims).
+        self.dim_mask = np.broadcast_to(self.dim_sizes > 1.0,
+                                        (self.num_starts, count, NUM_DIMS))
+        self._layer_view = _BatchedLayerView(self.layers, self.dim_sizes)
+        self._order_perms: np.ndarray | None = None
+
+    # ------------------------------------------------------------------ #
+    # Construction from / conversion to concrete mappings
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def from_mapping_sets(mapping_sets: Sequence[Sequence[Mapping]]) -> "MultiStartFactors":
+        """Stack one list of concrete per-layer mappings per start point."""
+        if not mapping_sets:
+            raise ValueError("from_mapping_sets requires at least one start point")
+        stacked = [NetworkFactors._stacked_log_factors(list(mappings))
+                   for mappings in mapping_sets]
+        return MultiStartFactors(
+            layers=[m.layer for m in mapping_sets[0]],
+            num_starts=len(mapping_sets),
+            log_temporal=np.stack([t for t, _ in stacked]),
+            log_spatial=np.stack([s for _, s in stacked]),
+            orderings=[[m.orderings for m in mappings] for mappings in mapping_sets],
+        )
+
+    def load_mapping_sets(self, mapping_sets: "dict[int, Sequence[Mapping]]") -> None:
+        """Overwrite selected start points' parameters from concrete mappings.
+
+        ``mapping_sets`` maps a start index to that start's per-layer rounded
+        mappings; start points not in the dict (e.g. budget-frozen ones) keep
+        their current values.  Like :meth:`NetworkFactors.load_mappings` this
+        may change loop orderings, so callers holding a
+        :class:`~repro.autodiff.tape.Tape` must re-trace.
+        """
+        for start, mappings in mapping_sets.items():
+            if not 0 <= start < self.num_starts:
+                raise ValueError(f"start index {start} out of range "
+                                 f"[0, {self.num_starts})")
+            if len(mappings) != len(self.layers):
+                raise ValueError(f"expected {len(self.layers)} mappings for "
+                                 f"start {start}, got {len(mappings)}")
+            log_temporal, log_spatial = self._stacked_log_factors(list(mappings))
+            self.log_temporal.data[start] = log_temporal
+            self.log_spatial.data[start] = log_spatial
+            self.start_orderings[start] = [tuple(m.orderings) for m in mappings]
+        self._order_perms = None
+
+    # ------------------------------------------------------------------ #
+    # Structure compilation
+    # ------------------------------------------------------------------ #
+    def order_perm(self, level: int) -> np.ndarray:
+        """``(S, L, dims)`` dimension indices in loop order (innermost first)."""
+        if self._order_perms is None:
+            self._order_perms = np.array(
+                [[[[DIM_INDEX[d] for d in ordering_for_tensor(ordering)]
+                   for ordering in layer_orderings]
+                  for layer_orderings in start]
+                 for start in self.start_orderings],
+                dtype=np.intp,
+            )
+        return self._order_perms[:, :, level, :]
+
+    # ------------------------------------------------------------------ #
+    # Differentiable factor access
+    # ------------------------------------------------------------------ #
+    def factor_grid(self) -> MultiStartGrid:
+        """All factors as ``(S, L)`` tensor matrices, keyed like the scalar grid.
+
+        Entry ``grid[(kind, level, dim)][s, l]`` equals (bitwise) the scalar
+        ``LayerFactors.factor_grid()`` entry of start ``s``, layer ``l``.
+        """
+        grid = MultiStartGrid()
+        temporal = ops.exp(self.log_temporal)
+        spatial = ops.exp(self.log_spatial)
+
+        for level_pos, level in enumerate(OPTIMIZED_LEVELS):
+            for dim in DIMENSIONS:
+                grid[("T", level, dim)] = temporal[:, :, level_pos, DIM_INDEX[dim]]
+        for level in MEMORY_LEVEL_INDICES:
+            for dim in DIMENSIONS:
+                grid.setdefault(("S", level, dim), 1.0)
+        for position, (level, dim) in enumerate(SPATIAL_DIMS):
+            grid[("S", level, dim)] = spatial[:, :, position]
+
+        # DRAM temporal factors absorb the remaining problem size.  The
+        # (L,)-shaped problem sizes broadcast across the start axis.
+        for dim in DIMENSIONS:
+            inner = ops.total_prod(
+                [grid[("T", level, dim)] for level in OPTIMIZED_LEVELS]
+                + [grid[("S", level, dim)] for level, d in SPATIAL_DIMS if d == dim]
+            )
+            grid[("T", LEVEL_DRAM, dim)] = (
+                Tensor(self.dim_sizes[:, DIM_INDEX[dim]]) / inner)
+
+        grid.temporal_matrix = temporal
+        grid.dram_matrix = ops.transpose(
+            ops.stack([grid[("T", LEVEL_DRAM, dim)] for dim in DIMENSIONS]),
+            (1, 2, 0))
+        return grid
+
+    # ------------------------------------------------------------------ #
+    # Numeric snapshots
+    # ------------------------------------------------------------------ #
+    def snapshot_mappings_of(self, start: int) -> list[Mapping]:
+        """One start point's current (possibly fractional) factors as mappings."""
+        temporal = np.exp(np.clip(self.log_temporal.data[start],
+                                  _MIN_LOG_FACTOR, _MAX_LOG_FACTOR))
+        spatial = np.exp(np.clip(self.log_spatial.data[start],
+                                 _MIN_LOG_FACTOR, _MAX_LOG_FACTOR))
+        mappings = []
+        for index, layer in enumerate(self.layers):
+            mapping = Mapping(layer=layer, orderings=self.start_orderings[start][index])
+            for level_pos, level in enumerate(OPTIMIZED_LEVELS):
+                mapping.temporal[level, :] = temporal[index, level_pos, :]
+            for position, (level, dim) in enumerate(SPATIAL_DIMS):
+                mapping.spatial[level, DIM_INDEX[dim]] = spatial[index, position]
+            mappings.append(mapping.with_dram_inferred())
+        return mappings
+
+    def rounded_mappings_of(self, start: int,
+                            max_spatial: float | None = None) -> list[Mapping]:
+        """Nearest valid mapping per layer for one start point (Section 5.3.2)."""
+        return [round_mapping(mapping, max_spatial=max_spatial)
+                for mapping in self.snapshot_mappings_of(start)]
+
+    def snapshot_mapping_sets(self) -> list[list[Mapping]]:
+        """Every start point's snapshot mappings, start-major."""
+        return [self.snapshot_mappings_of(start) for start in range(self.num_starts)]
+
+    # The single-start accessors of NetworkFactors are shape-ambiguous here.
+    def snapshot_mappings(self):  # pragma: no cover - guard rail
+        raise TypeError("use snapshot_mappings_of(start) / snapshot_mapping_sets() "
+                        "on MultiStartFactors")
+
+    def rounded_mappings(self, max_spatial=None):  # pragma: no cover - guard rail
+        raise TypeError("use rounded_mappings_of(start) on MultiStartFactors")
+
+    def load_mappings(self, mappings):  # pragma: no cover - guard rail
+        raise TypeError("use load_mapping_sets({start: mappings}) on MultiStartFactors")
+
+    def with_uniform_orderings(self, ordering: LoopOrdering) -> "MultiStartFactors":
+        """Shallow view sharing parameters, with ``ordering`` at every level.
+
+        Used by the softmax loop-ordering loss to evaluate the WS/IS/OS
+        candidates of every start point and layer without duplicating state.
+        """
+        view = MultiStartFactors.__new__(MultiStartFactors)
+        view.layers = self.layers
+        view.num_starts = self.num_starts
+        view.log_temporal = self.log_temporal
+        view.log_spatial = self.log_spatial
+        view.start_orderings = [
+            [(ordering,) * NUM_LEVELS] * len(self.layers)] * self.num_starts
+        view.dim_sizes = self.dim_sizes
+        view.dim_mask = self.dim_mask
+        view._layer_view = self._layer_view
+        view._order_perms = None
+        return view
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"MultiStartFactors({self.num_starts} starts x "
+                f"{len(self.layers)} layers)")

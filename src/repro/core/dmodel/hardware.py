@@ -71,15 +71,23 @@ class DifferentiableHardware:
         """Minimal hardware implied by per-layer requirements (Equation 1, Figure 3).
 
         ``spatial_factors`` are the candidate array side lengths (the C and K
-        spatial factors of every layer) — an iterable of scalars, or a single
-        1-D tensor from the layer-batched model (reduced with the equivalent
-        fused left-fold maximum).  The PE count is the square of their
-        maximum.  SRAM capacities convert word requirements to kilobytes.
+        spatial factors of every layer) — an iterable of scalars, a 1-D tensor
+        from the layer-batched model, or an ``(S, 2L)`` tensor from the
+        multi-start model (each reduced with the equivalent fused left-fold
+        maximum; the multi-start form folds each start's row independently and
+        yields ``(S, 1)`` hardware fields, with ``accumulator_words`` /
+        ``scratchpad_words`` expected in the same shape).  The PE count is the
+        square of their maximum.  SRAM capacities convert word requirements to
+        kilobytes.
         """
         if isinstance(spatial_factors, Tensor):
             if spatial_factors.size == 0:
                 raise ValueError("from_requirements needs at least one spatial factor")
-            side = ops.fold_max(spatial_factors)
+            side = ops.fold_max(spatial_factors, axis=-1)
+            if side.ndim:
+                # Keep the reduced axis so per-start hardware broadcasts
+                # against that start's (S, L) factor columns.
+                side = side.reshape(side.shape + (1,))
         else:
             side = None
             for factor in spatial_factors:

@@ -8,13 +8,18 @@
   ordering strategy, weighting each candidate ordering's energy and latency by
   the softmax of its inverse EDP.
 
-Every loss accepts either the per-layer parameterization (a list of
-:class:`LayerFactors` / :class:`LayerPerformance`) or the layer-batched one
+Every loss accepts the per-layer parameterization (a list of
+:class:`LayerFactors` / :class:`LayerPerformance`), the layer-batched one
 (a :class:`NetworkFactors` / a vector-valued :class:`LayerPerformance` from
-the batched ``evaluate_network``).  The batched branches reduce over the
-layer axis with the left-fold sums of :func:`repro.autodiff.ops.fold_sum`, in
-the same element order as the per-layer Python folds, so batched loss values
-are bit-identical to the per-layer ones.
+the batched ``evaluate_network``), or the start-batched one (a
+:class:`MultiStartFactors` / an ``(S, L)``-valued performance).  The batched
+branches reduce over the layer axis with the left-fold sums of
+:func:`repro.autodiff.ops.fold_sum`, in the same element order as the
+per-layer Python folds, so batched loss values are bit-identical to the
+per-layer ones.  The multi-start branches reduce over the layer axis *only*
+and return one value per start point (shape ``(S,)``) — start points are
+independent descents, so nothing may mix their losses before the caller's
+final fold.
 """
 
 from __future__ import annotations
@@ -24,7 +29,12 @@ from typing import Sequence
 import numpy as np
 
 from repro.autodiff import Tensor, ops
-from repro.core.dmodel.factors import LayerFactors, NetworkFactors, NetworkGrid
+from repro.core.dmodel.factors import (
+    LayerFactors,
+    MultiStartFactors,
+    NetworkFactors,
+    NetworkGrid,
+)
 from repro.core.dmodel.hardware import DifferentiableHardware
 from repro.core.dmodel.model import DifferentiableModel, LayerPerformance
 from repro.mapping.mapping import LoopOrdering
@@ -42,14 +52,16 @@ def network_edp_loss(
 ) -> Tensor:
     """Whole-model EDP (Equation 14): sum energies x sum latencies.
 
-    ``performances`` is either one :class:`LayerPerformance` per layer or a
-    single batched performance whose ``energy``/``latency`` are ``(L,)``
-    tensors.
+    ``performances`` is one :class:`LayerPerformance` per layer, a single
+    batched performance whose ``energy``/``latency`` are ``(L,)`` tensors
+    (returning the scalar network EDP), or a multi-start performance with
+    ``(S, L)`` tensors — in which case the result is the ``(S,)`` vector of
+    per-start network EDPs, each bit-identical to the single-start loss.
     """
     if isinstance(performances, LayerPerformance):
-        reps = _repeat_vector(repeats, len(performances.energy))
-        total_energy = ops.fold_sum(performances.energy * reps)
-        total_latency = ops.fold_sum(performances.latency * reps)
+        reps = _repeat_vector(repeats, performances.energy.shape[-1])
+        total_energy = ops.fold_sum(performances.energy * reps, axis=-1)
+        total_latency = ops.fold_sum(performances.latency * reps, axis=-1)
         return total_energy * total_latency
     if len(performances) != len(repeats):
         raise ValueError("one repetition count is required per layer performance")
@@ -71,8 +83,18 @@ def validity_penalty(
     The batched branch flattens the per-entry ``(L,)`` hinge columns
     layer-major before the fold, reproducing the per-layer summation order
     exactly.  ``grid`` lets the batched caller reuse one factor grid across
-    the whole loss graph.
+    the whole loss graph.  With a :class:`MultiStartFactors` the result is
+    the ``(S,)`` vector of per-start penalties, each folded in the same
+    layer-major entry order as the single-start batched branch.
     """
+    if isinstance(all_factors, MultiStartFactors):
+        grid = grid if grid is not None else all_factors.factor_grid()
+        hinges = [ops.relu(1.0 - value) for value in grid.values()
+                  if isinstance(value, Tensor)]
+        # (entries, S, L) -> (S, L, entries) -> per-start layer-major fold.
+        flat = ops.transpose(ops.stack(hinges), (1, 2, 0)).reshape(
+            all_factors.num_starts, len(all_factors.layers) * len(hinges))
+        return ops.fold_sum(flat, axis=-1)
     if isinstance(all_factors, NetworkFactors):
         grid = grid if grid is not None else all_factors.factor_grid()
         hinges = [ops.relu(1.0 - value) for value in grid.values()
@@ -114,7 +136,10 @@ def softmax_ordering_loss(
     combined with weights ``softmax(1 / (E ⊙ L))``; the weighted per-layer
     energies and latencies are then composed into the whole-model EDP.  The
     batched branch evaluates each candidate ordering once over all layers
-    (``(3, L)`` energy/latency matrices) instead of per layer.
+    (``(3, L)`` energy/latency matrices) instead of per layer; a
+    :class:`MultiStartFactors` flows through the same expressions with
+    ``(3, S, L)`` matrices and yields the ``(S,)`` vector of per-start losses
+    (the softmax and the layer folds never cross the start axis).
     """
     if isinstance(all_factors, NetworkFactors):
         # The factor grid is ordering-independent, so one grid serves the
@@ -157,14 +182,36 @@ def softmax_ordering_loss(
 
 
 def best_ordering_per_layer(
-    all_factors: Sequence[LayerFactors],
+    all_factors: "Sequence[LayerFactors] | NetworkFactors",
     hardware: DifferentiableHardware | None = None,
 ) -> list[LoopOrdering]:
     """Iterative loop-ordering selection (Section 5.2.1).
 
     For each layer, evaluate the WS/IS/OS orderings under the differentiable
-    model and return the ordering with the lowest layer EDP.
+    model and return the ordering with the lowest layer EDP.  Given a
+    :class:`NetworkFactors`, each candidate ordering is evaluated once over
+    all layers (a ``(3, L)`` EDP matrix, no graph recorded) instead of layer
+    by layer; the batched EDPs are bit-identical to the per-layer model and
+    ``argmin`` keeps the first minimum, so selections match the per-layer
+    strict-``<`` scan decision-for-decision.
     """
+    if isinstance(all_factors, MultiStartFactors):
+        raise TypeError("best_ordering_per_layer selects per rounded start point; "
+                        "pass NetworkFactors.from_mappings(rounded) per start")
+    if isinstance(all_factors, NetworkFactors):
+        from repro.autodiff import no_grad
+
+        with no_grad():
+            grid = all_factors.factor_grid()
+            if hardware is None:
+                hardware = DifferentiableModel.derive_hardware(all_factors, grid=grid)
+            edps = np.stack([
+                DifferentiableModel.evaluate_layer(
+                    all_factors.with_uniform_orderings(ordering), hardware, grid
+                ).edp.data
+                for ordering in _CANDIDATE_ORDERINGS
+            ])
+        return [_CANDIDATE_ORDERINGS[index] for index in np.argmin(edps, axis=0)]
     if hardware is None:
         hardware = DifferentiableModel.derive_hardware(list(all_factors))
     selections: list[LoopOrdering] = []

@@ -39,7 +39,13 @@ from repro.arch.components import (
     MEMORY_LEVEL_INDICES,
 )
 from repro.autodiff import Tensor, ops
-from repro.core.dmodel.factors import LayerFactors, NetworkFactors, NetworkGrid
+from repro.core.dmodel.factors import (
+    LayerFactors,
+    MultiStartFactors,
+    MultiStartGrid,
+    NetworkFactors,
+    NetworkGrid,
+)
 from repro.core.dmodel.hardware import DifferentiableHardware
 from repro.mapping.mapping import LoopOrdering, ordering_for_tensor
 from repro.workloads.layer import DIMENSIONS, TENSOR_DIMS
@@ -132,26 +138,39 @@ class DifferentiableModel:
 
         The walk sequence (levels outward, innermost loop first within each
         level, per-layer orderings) is materialized as an ``(L, positions)``
-        matrix by gathering the stacked temporal factors through static
-        permutation index arrays; the value-dependent skip rules live inside
+        matrix — ``(S, L, positions)`` for the multi-start model — by
+        gathering the stacked temporal factors through static permutation
+        index arrays; the value-dependent skip rules live inside
         :func:`~repro.autodiff.ops.reload_product`, which re-derives them from
         current values on every forward/backward pass.
         """
         relevant_by_dim = np.array([d in TENSOR_DIMS[tensor] for d in DIMENSIONS])
-        rows = np.arange(len(factors))[:, None]
+        multistart = isinstance(factors, MultiStartFactors)
+        if multistart:
+            # Broadcast (S, 1, 1) x (1, L, 1) row indices against the
+            # (S, L, dims) permutations.
+            start_rows = np.arange(factors.num_starts)[:, None, None]
+            layer_rows = np.arange(len(factors.layers))[None, :, None]
+        else:
+            rows = np.arange(len(factors))[:, None]
         segments = []
         relevant_segments = []
         for walk_level in range(level, LEVEL_DRAM + 1):
             perm = factors.order_perm(walk_level)
             if walk_level == LEVEL_DRAM:
                 matrix = grid.dram_matrix
+            elif multistart:
+                matrix = grid.temporal_matrix[:, :, walk_level, :]
             else:
                 # Optimized levels coincide with their positions in the stack.
                 matrix = grid.temporal_matrix[:, walk_level, :]
-            segments.append(matrix[rows, perm])
+            if multistart:
+                segments.append(matrix[start_rows, layer_rows, perm])
+            else:
+                segments.append(matrix[rows, perm])
             relevant_segments.append(relevant_by_dim[perm])
-        walk = ops.concat(segments, axis=1) if len(segments) > 1 else segments[0]
-        relevant = np.concatenate(relevant_segments, axis=1)
+        walk = ops.concat(segments, axis=-1) if len(segments) > 1 else segments[0]
+        relevant = np.concatenate(relevant_segments, axis=-1)
         return ops.reload_product(walk, relevant, eps=_FACTOR_EPS)
 
     @staticmethod
@@ -259,11 +278,16 @@ class DifferentiableModel:
                         ) -> DifferentiableHardware:
         """Minimal hardware supporting every layer's current factors (differentiably).
 
-        Accepts a list of :class:`LayerFactors` or a batched
-        :class:`NetworkFactors` (optionally with a pre-built ``grid`` so one
-        grid serves hardware derivation, evaluation and the validity penalty
-        within a single loss graph).
+        Accepts a list of :class:`LayerFactors`, a batched
+        :class:`NetworkFactors`, or a start-batched :class:`MultiStartFactors`
+        (optionally with a pre-built ``grid`` so one grid serves hardware
+        derivation, evaluation and the validity penalty within a single loss
+        graph).  The multi-start form returns hardware whose fields are
+        ``(S, 1)`` tensors — one independently-derived configuration per start
+        point, broadcasting over that start's layers.
         """
+        if isinstance(all_factors, MultiStartFactors):
+            return cls._derive_hardware_multistart(all_factors, grid)
         if isinstance(all_factors, NetworkFactors):
             return cls._derive_hardware_batched(all_factors, grid)
         if not all_factors:
@@ -315,6 +339,37 @@ class DifferentiableModel:
         )
 
     @classmethod
+    def _derive_hardware_multistart(
+        cls, factors: MultiStartFactors, grid: MultiStartGrid | None = None,
+    ) -> DifferentiableHardware:
+        """Per-start Equation-1 derivation: independent left-folds per row.
+
+        Each start's candidates fold in the same order as its own
+        :meth:`_derive_hardware_batched` pass (layer-interleaved accumulator-C
+        / scratchpad-K spatial factors, then the capacity maxima), so per-row
+        values and tie subgradients are bit-identical to S single-start
+        derivations.  Fields come back as ``(S, 1)`` tensors that broadcast
+        over the ``(S, L)`` factor grid.
+        """
+        grid = grid if grid is not None else factors.factor_grid()
+        spatial_c = grid[("S", LEVEL_ACCUMULATOR, "C")]
+        spatial_k = grid[("S", LEVEL_SCRATCHPAD, "K")]
+        starts, layer_count = spatial_c.shape
+        interleaved = ops.transpose(
+            ops.stack([spatial_c, spatial_k]), (1, 2, 0)
+        ).reshape(starts, 2 * layer_count)
+        accumulator_words = ops.fold_max(
+            cls.tile_words(factors, grid, LEVEL_ACCUMULATOR, "O"), axis=-1)
+        scratchpad_words = ops.fold_max(
+            cls.tile_words(factors, grid, LEVEL_SCRATCHPAD, "W")
+            + cls.tile_words(factors, grid, LEVEL_SCRATCHPAD, "I"), axis=-1)
+        return DifferentiableHardware.from_requirements(
+            spatial_factors=interleaved,
+            accumulator_words=accumulator_words.reshape(starts, 1),
+            scratchpad_words=scratchpad_words.reshape(starts, 1),
+        )
+
+    @classmethod
     def evaluate_network(
         cls,
         all_factors,
@@ -327,6 +382,8 @@ class DifferentiableModel:
         :class:`LayerPerformance` per layer.  With a batched
         :class:`NetworkFactors` it returns a single :class:`LayerPerformance`
         whose fields are ``(L,)`` tensors — one graph for the whole network.
+        With a :class:`MultiStartFactors` the fields are ``(S, L)`` tensors —
+        one graph for all start points of a search.
         """
         if isinstance(all_factors, NetworkFactors):
             if hardware is None:

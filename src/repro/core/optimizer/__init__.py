@@ -9,7 +9,12 @@ from repro.core.optimizer.dosa import (
     DosaSettings,
     LoopOrderingStrategy,
 )
-from repro.core.optimizer.startpoints import StartPoint, generate_start_points
+from repro.core.optimizer.startpoints import (
+    StartPoint,
+    generate_start_points,
+    predicted_edp_of_mapping_sets,
+    stack_start_points,
+)
 from repro.search.api import CandidateDesign, SearchOutcome, SearchTrace, TracePoint
 
 __all__ = [
@@ -22,4 +27,6 @@ __all__ = [
     "TracePoint",
     "StartPoint",
     "generate_start_points",
+    "predicted_edp_of_mapping_sets",
+    "stack_start_points",
 ]

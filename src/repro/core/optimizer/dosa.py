@@ -8,18 +8,29 @@ the minimal hardware configuration is derived, and the candidate design is
 scored with the reference (Timeloop-style) model.  The best reference-scored
 design across all start points is the search result.
 
-By default the descent runs on the layer-batched model
-(:class:`~repro.core.dmodel.factors.NetworkFactors`: one array-op graph per
-step regardless of layer count) with a compiled
+By default the descent runs start-batched *and* layer-batched
+(:class:`~repro.core.dmodel.factors.MultiStartFactors`: all S start points x
+L layers in one ``(S, L, ...)`` array-op graph, so a single gradient step
+advances every start point) with a compiled
 :class:`~repro.autodiff.tape.Tape` replayed between rounding points and a
-fused in-place Adam — an order-of-magnitude faster inner loop whose seeded
-outcomes match the per-layer path (``DosaSettings(batched_model=False)``)
-design-for-design.
+fused in-place Adam.  Start points share no graph nodes, so each start's
+descent trajectory — losses, gradients, Adam updates, rounded designs — is
+bit-identical to descending it alone, and seeded outcomes match the
+sequential schedule (``DosaSettings(batched_starts=False)``) and the
+per-layer model (``DosaSettings(batched_model=False)``) design-for-design.
+What changes under start batching is only *interleaving*: candidates arrive
+grouped by rounding point rather than by start point, so ``candidates`` /
+``trace`` ordering (not membership) and callback order differ.
 
 Sample accounting follows the paper: every gradient step counts as one model
-evaluation ("evaluations done using Timeloop are considered equivalent to
-evaluations done using DOSA's differentiable model"), and each reference
-evaluation at a rounding point also counts one sample per layer mapping.
+evaluation per start point ("evaluations done using Timeloop are considered
+equivalent to evaluations done using DOSA's differentiable model"), and each
+reference evaluation at a rounding point also counts one sample per layer
+mapping.  Under a binding ``max_samples`` budget the batched descent narrows
+via a per-start *active mask*: when the remaining allowance cannot fund one
+sample for every active start, trailing starts are frozen (masked out of the
+loss and no longer rounded) so the leading starts — the ones the sequential
+schedule would have funded — keep descending.
 
 The searcher implements the unified :mod:`repro.search.api` protocol: it is
 registered as strategy ``"dosa"`` and returns a :class:`SearchOutcome` whose
@@ -35,11 +46,17 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Callable
 
+import numpy as np
+
 from repro.arch.config import HardwareBounds, HardwareConfig
-from repro.autodiff import Adam, Tape
+from repro.autodiff import Adam, Tape, Tensor, ops
 from repro.eval.cache import EvaluationCache
 from repro.eval.engine import EvaluationEngine
-from repro.core.dmodel.factors import LayerFactors, NetworkFactors
+from repro.core.dmodel.factors import (
+    LayerFactors,
+    MultiStartFactors,
+    NetworkFactors,
+)
 from repro.core.dmodel.loss import (
     best_ordering_per_layer,
     network_edp_loss,
@@ -47,9 +64,13 @@ from repro.core.dmodel.loss import (
     validity_penalty,
 )
 from repro.core.dmodel.model import DifferentiableModel
-from repro.core.optimizer.startpoints import StartPoint, generate_start_points
+from repro.core.optimizer.startpoints import (
+    StartPoint,
+    generate_start_points,
+    stack_start_points,
+)
 from repro.mapping.constraints import minimal_hardware_for_mappings
-from repro.mapping.mapping import Mapping
+from repro.mapping.mapping import Mapping, NUM_LEVELS
 from repro.search.api import (
     CandidateDesign,
     SearchBudget,
@@ -82,6 +103,18 @@ class DosaSettings:
     path is simply faster.  ``use_tape`` additionally replays a compiled
     :class:`~repro.autodiff.tape.Tape` between rounding points instead of
     re-tracing the graph every step (replay is bit-identical to re-tracing).
+
+    ``batched_starts`` extends the batching one axis further
+    (:class:`~repro.core.dmodel.factors.MultiStartFactors`): all
+    ``num_start_points`` descents advance together in one ``(S, L, ...)``
+    graph instead of running one after another.  Per-start trajectories are
+    bit-identical to the sequential schedule, so seeded best designs and
+    total sample counts match; only the order in which candidates are
+    discovered (grouped by rounding point instead of by start point) and the
+    budget-exhaustion behaviour (trailing starts are frozen via a mask when
+    the sample allowance runs short, and every still-active start receives a
+    final rounding evaluation) differ.  It requires — and is only consulted
+    with — ``batched_model=True``.
     """
 
     num_start_points: int = 7
@@ -93,6 +126,7 @@ class DosaSettings:
     rejection_threshold: float = 10.0
     batched_model: bool = True
     use_tape: bool = True
+    batched_starts: bool = True
     fixed_pe_dim: int | None = None
     # A fresh HardwareBounds per settings object (never the shared module-level
     # DEFAULT_BOUNDS instance) so one searcher's bounds can't leak into another.
@@ -159,11 +193,95 @@ class DosaSearcher:
         # cache (e.g. from an experiment harness running several strategies)
         # persists those hits across runs.
         with EvaluationEngine(cache=self.cache, n_workers=self.n_workers) as engine:
-            for start_point in start_points:
-                if session.exhausted():
-                    break
-                self._descend_from(start_point, session, engine)
+            if settings.batched_starts and settings.batched_model:
+                if not session.exhausted():
+                    self._descend_all(start_points, session, engine)
+            else:
+                for start_point in start_points:
+                    if session.exhausted():
+                        break
+                    self._descend_from(start_point, session, engine)
         return session.finish(extras={"start_points": start_points})
+
+    # ------------------------------------------------------------------ #
+    def _descend_all(self, start_points: list[StartPoint],
+                     session: SearchSession, engine: EvaluationEngine) -> None:
+        """Descend every start point at once on the start-batched model.
+
+        One :class:`MultiStartFactors` graph advances all S starts per
+        gradient step; ``active`` masks out starts frozen by a binding sample
+        budget (the scalar training loss folds only active per-start losses,
+        so frozen rows receive exactly-zero gradients).  Rounding points round,
+        re-order and reference-evaluate each active start independently, in
+        start order, preserving the sequential path's per-start sample
+        accounting (one GD sample per start per step, one reference sample
+        per layer per rounding evaluation).
+        """
+        settings = self.settings
+        factors = stack_start_points(start_points)
+        optimizer = Adam(factors.parameters(), lr=settings.learning_rate,
+                         fused=True)
+        active = np.ones(factors.num_starts, dtype=bool)
+        # The mask is read at trace time; every mask change below invalidates
+        # the tape, so replays never see a stale mask.
+        tape = (Tape(lambda: self._loss(factors, active=active))
+                if settings.use_tape else None)
+        evaluated_once = False
+
+        for step in range(settings.gd_steps):
+            count = int(active.sum())
+            allowance = session.sample_allowance(count)
+            if allowance == 0:
+                # Unreachable when budget checks below ran (exhaustion
+                # returns), but guards direct callers with a spent budget.
+                return
+            if allowance < count:
+                # Freeze trailing starts: the sequential schedule funds
+                # earlier start points first, so they keep descending.
+                active[np.flatnonzero(active)[allowance:]] = False
+                if tape is not None:
+                    tape.invalidate()
+            optimizer.zero_grad()
+            if tape is not None:
+                tape.forward()
+                tape.backward()
+            else:
+                self._loss(factors, active=active).backward()
+            optimizer.step()
+            session.spend(int(active.sum()))
+
+            out_of_budget = session.exhausted()
+            at_rounding_point = ((step + 1) % settings.rounding_period == 0
+                                 or step == settings.gd_steps - 1
+                                 or out_of_budget)
+            if not at_rounding_point:
+                continue
+
+            self._round_and_evaluate_all(factors, active, session, engine)
+            evaluated_once = True
+            if tape is not None:
+                tape.invalidate()
+            if out_of_budget or session.exhausted():
+                return
+        if not evaluated_once:  # pragma: no cover - defensive; loop always rounds
+            self._round_and_evaluate_all(factors, active, session, engine)
+
+    # ------------------------------------------------------------------ #
+    def _round_and_evaluate_all(self, factors: MultiStartFactors,
+                                active: np.ndarray, session: SearchSession,
+                                engine: EvaluationEngine) -> None:
+        """Round + reference-evaluate every active start, then re-snap them."""
+        max_spatial = (self.settings.fixed_pe_dim
+                       or self.settings.bounds.max_pe_dim)
+        snapped: dict[int, list[Mapping]] = {}
+        for start in np.flatnonzero(active):
+            rounded = factors.rounded_mappings_of(start, max_spatial=max_spatial)
+            candidate = self._score_rounded(rounded, session, engine,
+                                            batched_ordering=True)
+            session.offer(candidate)
+            snapped[int(start)] = candidate.mappings
+        # Continue each active descent from its snapped point.
+        factors.load_mapping_sets(snapped)
 
     # ------------------------------------------------------------------ #
     def _descend_from(self, start_point: StartPoint, session: SearchSession,
@@ -214,7 +332,8 @@ class DosaSearcher:
             session.offer(self._round_and_evaluate(factors, session, engine))
 
     # ------------------------------------------------------------------ #
-    def _loss(self, factors: "list[LayerFactors] | NetworkFactors"):
+    def _loss(self, factors: "list[LayerFactors] | NetworkFactors",
+              active: np.ndarray | None = None):
         settings = self.settings
         if isinstance(factors, NetworkFactors):
             # One factor grid serves hardware derivation, evaluation and the
@@ -230,26 +349,70 @@ class DosaSearcher:
             performances = DifferentiableModel.evaluate_network(factors, hardware,
                                                                 grid=grid)
             objective = network_edp_loss(performances, self._repeats)
-        return objective + settings.penalty_weight * validity_penalty(factors,
-                                                                      grid=grid)
+        objective = objective + settings.penalty_weight * validity_penalty(
+            factors, grid=grid)
+        if not isinstance(factors, MultiStartFactors):
+            return objective
+        # Multi-start: ``objective`` is the (S,) vector of per-start losses.
+        # Fold it to the scalar the tape/backward need — each start receives
+        # gradient 1.0, exactly as if its own loss had been backpropagated.
+        # Budget-frozen starts are multiplied out (mask changes re-trace the
+        # tape); while every start is active no mask node is recorded, so the
+        # default graph is untouched.
+        if active is not None and not active.all():
+            objective = objective * Tensor(active.astype(np.float64))
+        return ops.fold_sum(objective)
 
     # ------------------------------------------------------------------ #
     def _round_and_evaluate(
         self, factors: "list[LayerFactors] | NetworkFactors",
         session: SearchSession, engine: EvaluationEngine,
     ) -> CandidateDesign:
-        settings = self.settings
-        max_spatial = settings.fixed_pe_dim or settings.bounds.max_pe_dim
+        max_spatial = (self.settings.fixed_pe_dim
+                       or self.settings.bounds.max_pe_dim)
         if isinstance(factors, NetworkFactors):
             rounded = factors.rounded_mappings(max_spatial=max_spatial)
         else:
             rounded = [f.rounded_mapping(max_spatial=max_spatial) for f in factors]
 
+        candidate = self._score_rounded(
+            rounded, session, engine,
+            batched_ordering=isinstance(factors, NetworkFactors))
+
+        # Continue the descent from the snapped point.
+        if isinstance(factors, NetworkFactors):
+            factors.load_mappings(candidate.mappings)
+        else:
+            for layer_factors, mapping in zip(factors, candidate.mappings):
+                layer_factors.load_mapping(mapping)
+
+        return candidate
+
+    # ------------------------------------------------------------------ #
+    def _score_rounded(self, rounded: list[Mapping], session: SearchSession,
+                       engine: EvaluationEngine, *,
+                       batched_ordering: bool) -> CandidateDesign:
+        """Turn one start's rounded mappings into a reference-scored candidate.
+
+        The shared tail of every rounding point — ITERATE ordering
+        re-selection, minimal-hardware derivation (with the ``fixed_pe_dim``
+        override), reference evaluation, latency adjustment and sample
+        accounting — so the sequential and start-batched schedules construct
+        candidates through literally the same code.  ``batched_ordering``
+        selects orderings over a stacked :class:`NetworkFactors` in one pass
+        (same decisions); the per-layer scan is kept as the parity oracle for
+        the per-layer model path.
+        """
+        settings = self.settings
         if settings.ordering_strategy is LoopOrderingStrategy.ITERATE:
-            selections = best_ordering_per_layer(
-                [LayerFactors.from_mapping(m) for m in rounded]
-            )
-            rounded = [m.with_orderings([ordering] * 4)
+            if batched_ordering:
+                selections = best_ordering_per_layer(
+                    NetworkFactors.from_mappings(rounded))
+            else:
+                selections = best_ordering_per_layer(
+                    [LayerFactors.from_mapping(m) for m in rounded]
+                )
+            rounded = [m.with_orderings([ordering] * NUM_LEVELS)
                        for m, ordering in zip(rounded, selections)]
 
         hardware = minimal_hardware_for_mappings(rounded, bounds=settings.bounds)
@@ -262,14 +425,6 @@ class DosaSearcher:
         performance = engine.evaluate_network(rounded, hardware)
         performance = self._adjust_performance(rounded, hardware, performance)
         session.spend(len(rounded))
-
-        # Continue the descent from the snapped point.
-        if isinstance(factors, NetworkFactors):
-            factors.load_mappings(rounded)
-        else:
-            for layer_factors, mapping in zip(factors, rounded):
-                layer_factors.load_mapping(mapping)
-
         return CandidateDesign(hardware=hardware, mappings=rounded,
                                performance=performance)
 

@@ -10,9 +10,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from typing import Sequence
+
+import numpy as np
+
 from repro.arch.config import HardwareConfig, random_hardware_config
 from repro.autodiff import no_grad
-from repro.core.dmodel.factors import NetworkFactors
+from repro.core.dmodel.factors import MultiStartFactors
 from repro.core.dmodel.loss import network_edp_loss
 from repro.core.dmodel.model import DifferentiableModel
 from repro.mapping.cosa import cosa_mapping
@@ -31,21 +35,36 @@ class StartPoint:
     predicted_edp: float
 
 
-def predicted_edp_of_mappings(mappings: list[Mapping], repeats: list[int]) -> float:
-    """Model-predicted whole-network EDP of a set of mappings (minimal hardware).
+def predicted_edp_of_mapping_sets(
+    mapping_sets: Sequence[Sequence[Mapping]], repeats: list[int],
+) -> np.ndarray:
+    """Model-predicted whole-network EDPs of several start points at once.
 
-    Runs the layer-batched model with gradients disabled: one array-op
-    forward pass per candidate start point, no graph construction.  Values
-    are bit-identical to the per-layer model, so rejection decisions are
-    unchanged.
+    Stacks every start point's mappings into one
+    :class:`~repro.core.dmodel.factors.MultiStartFactors` and runs the
+    start-batched model with gradients disabled: one ``(S, L)`` array-op
+    forward pass for all candidates, no graph construction.  Per-start values
+    are bit-identical to the per-layer (and single-start batched) model, so
+    rejection decisions are unchanged.  Returns the ``(S,)`` EDP array.
     """
     with no_grad():
-        factors = NetworkFactors.from_mappings(mappings)
+        factors = MultiStartFactors.from_mapping_sets(mapping_sets)
         grid = factors.factor_grid()
         hardware = DifferentiableModel.derive_hardware(factors, grid=grid)
         performances = DifferentiableModel.evaluate_network(factors, hardware,
                                                             grid=grid)
-        return float(network_edp_loss(performances, repeats).data)
+        return network_edp_loss(performances, repeats).data
+
+
+def predicted_edp_of_mappings(mappings: list[Mapping], repeats: list[int]) -> float:
+    """Model-predicted whole-network EDP of one set of mappings (minimal hardware)."""
+    return float(predicted_edp_of_mapping_sets([mappings], repeats)[0])
+
+
+def stack_start_points(start_points: Sequence[StartPoint]) -> MultiStartFactors:
+    """Stack accepted start points into one start-batched parameterization."""
+    return MultiStartFactors.from_mapping_sets(
+        [point.mappings for point in start_points])
 
 
 def generate_start_points(

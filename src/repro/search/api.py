@@ -172,9 +172,22 @@ class CandidateDesign:
 class SearchOutcome:
     """The common result of every search strategy.
 
-    ``settings`` is a JSON-safe snapshot of the searcher's hyperparameters;
-    ``extras`` carries strategy-specific artifacts (e.g. DOSA's start points)
-    and is *not* serialized.
+    ``settings`` is a JSON-safe snapshot of the searcher's hyperparameters
+    (it round-trips through the outcome JSON serialization for provenance).
+
+    ``extras`` carries strategy-specific artifacts that are *not* serialized
+    — live Python objects a caller may want to inspect after the run.  Keys
+    are per-strategy; the ones currently produced:
+
+    * ``"start_points"`` (strategy ``dosa``) — the list of
+      :class:`~repro.core.optimizer.startpoints.StartPoint` objects the
+      gradient descent was seeded from, in generation order.  The fig9
+      separation study reads ``extras["start_points"][0]`` to re-run a
+      mapping-only search on the first start's hardware.
+
+    Seeded runs are design-identical across the batched/sequential descent
+    schedules, but ``candidates``/``trace`` *ordering* (not membership) may
+    differ between them — see :mod:`repro.core.optimizer.dosa`.
     """
 
     method: str
@@ -394,6 +407,13 @@ class SearchSession:
 
     # -- completion ------------------------------------------------------ #
     def finish(self, extras: dict[str, Any] | None = None) -> SearchOutcome:
+        """Seal the session into a :class:`SearchOutcome`.
+
+        ``extras`` becomes :attr:`SearchOutcome.extras` (strategy-specific,
+        unserialized artifacts — see the key inventory on
+        :class:`SearchOutcome`).  Raises :class:`RuntimeError` if no feasible
+        design was ever offered, so callers never receive a best-less outcome.
+        """
         if self.best is None:
             raise RuntimeError(
                 f"{self.method} search produced no feasible design; "
