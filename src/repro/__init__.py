@@ -14,6 +14,10 @@ The package is organized bottom-up:
 * :mod:`repro.core` — the differentiable model (Eq. 1-18) and the DOSA searcher,
 * :mod:`repro.search` — the unified search API (protocol, registry, budget,
   callbacks) plus the random-search and Bayesian-optimization baselines,
+* :mod:`repro.campaign` — sharded, resumable experiment campaigns (declarative
+  workload x strategy x seed x budget grids, a persistent JSONL result store
+  that doubles as a cross-process evaluation-cache spill, and deterministic
+  aggregate reports),
 * :mod:`repro.surrogate` — the synthetic Gemmini-RTL simulator and learned latency models,
 * :mod:`repro.experiments` — one harness per paper table/figure.
 
@@ -36,6 +40,14 @@ the paper's Figures 7-9.  The same search is available from the shell::
 """
 
 from repro.arch import GemminiSpec, HardwareConfig
+from repro.campaign import (
+    CampaignReport,
+    CampaignScheduler,
+    CampaignSpec,
+    ResultStore,
+    StrategyVariant,
+    run_campaign,
+)
 from repro.core.optimizer import DosaSearcher, DosaSettings, LoopOrderingStrategy
 from repro.eval import EvaluationCache, EvaluationEngine
 from repro.mapping import Mapping, cosa_mapping, random_mapping
@@ -56,7 +68,7 @@ from repro.search.api import (
 from repro.timeloop import evaluate_mapping, evaluate_network_mappings
 from repro.workloads import LayerDims, conv2d_layer, get_network, matmul_layer
 
-__version__ = "2.0.0"
+__version__ = "2.1.0"
 
 __all__ = [
     "GemminiSpec",

@@ -1,0 +1,413 @@
+"""The campaign scheduler: shard independent jobs across workers, resumably.
+
+Every grid cell of a :class:`~repro.campaign.spec.CampaignSpec` is an
+independent seeded search, so scheduling is embarrassingly parallel.  The
+scheduler:
+
+* skips jobs whose ids are already completed in the
+  :class:`~repro.campaign.store.ResultStore` (crash-safe resume: seeded
+  determinism means an interrupt + resume reproduces the uninterrupted
+  campaign exactly),
+* optionally takes a deterministic ``shard_index``/``shard_count`` slice of
+  the grid (for spreading one campaign over several machines or CI jobs) and
+  an at-most-``max_jobs`` cap per invocation,
+* runs jobs inline (default — live :class:`SearchOutcome` objects, shared
+  in-memory evaluation cache) or fans them out over a ``fork`` process pool
+  (``n_workers``), in which case each worker preloads the store's cache
+  spill and the parent remains the store's single writer,
+* persists each finished job atomically, including interrupted best-so-far
+  outcomes (flagged, so resume re-runs them), and spills each job's new
+  reference-model cache entries back to the store.
+
+Searchers inside campaign jobs always run with ``n_workers=None`` — the
+campaign shards at job granularity, so nesting another evaluation pool in
+each job would only oversubscribe the machine.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import tempfile
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.campaign.spec import CampaignSpec, JobSpec
+from repro.campaign.store import ResultStore, segment_name_for
+from repro.eval.cache import EvaluationCache
+from repro.search.api import SearchOutcome, get_searcher
+from repro.utils.serialization import outcome_from_dict, outcome_to_dict
+from repro.workloads.networks import get_network
+
+#: Called after each persisted job: (job, outcome).  May raise
+#: KeyboardInterrupt to stop the campaign gracefully (the CLI uses it for
+#: progress lines; tests use it to simulate mid-campaign interrupts).
+JobCallback = Callable[[JobSpec, SearchOutcome], None]
+
+
+def execute_job(job: JobSpec, cache: EvaluationCache | None = None,
+                callbacks=None) -> SearchOutcome:
+    """Run one grid cell: construct the seeded searcher and search.
+
+    The job's seed is injected into the variant's settings overrides via the
+    strategy's ``settings_type``, so identical jobs are bit-reproducible no
+    matter which process (or machine) runs them.
+    """
+    cls = get_searcher(job.variant.strategy)
+    settings_type = getattr(cls, "settings_type", None)
+    if settings_type is None:
+        raise TypeError(f"strategy {job.variant.strategy!r} exposes no "
+                        "settings_type; campaign jobs need seeded settings")
+    settings = settings_type(seed=job.seed, **dict(job.variant.settings))
+    kwargs: dict[str, Any] = {}
+    if job.variant.hardware is not None:
+        kwargs["hardware"] = job.variant.hardware
+    searcher = cls(get_network(job.workload), settings=settings,
+                   cache=cache, **kwargs)
+    return searcher.search(budget=job.budget, callbacks=callbacks)
+
+
+#: Per-worker-process spill state, keyed by store directory: the shared
+#: in-memory cache and the spill segment names already folded into it.  Pool
+#: workers are long-lived (one process runs many jobs), so each segment is
+#: parsed once per worker instead of once per job.
+_WORKER_SPILL: dict[str, tuple[EvaluationCache, set[str]]] = {}
+
+
+def _worker_spill_state(store: ResultStore) -> tuple[EvaluationCache, set[str]]:
+    state = _WORKER_SPILL.get(str(store.directory))
+    if state is None:
+        state = (EvaluationCache(), set())
+        _WORKER_SPILL[str(store.directory)] = state
+    cache, seen = state
+    seen.update(store.load_cache_segments(cache, skip=seen))
+    return cache, seen
+
+
+def _pool_run_job(spec_payload: dict, job_id: str, store_dir: str,
+                  persist_cache: bool) -> dict[str, Any]:
+    """Worker entry point: run one job against the store's cache spill.
+
+    Workers never touch ``results.jsonl`` (the parent is the single writer —
+    ``writer=False`` also skips the crash-tail repair, which would race the
+    parent's appends); they only read the spill and write their own atomic
+    cache segment.
+    """
+    spec = CampaignSpec.from_dict(spec_payload)
+    job = spec.job_named(job_id)
+    store = ResultStore(store_dir, writer=False)
+    if persist_cache:
+        cache, seen = _worker_spill_state(store)
+    else:
+        cache, seen = EvaluationCache(), set()
+    preloaded = len(cache)
+    try:
+        outcome = execute_job(job, cache=cache)
+    finally:
+        if persist_cache:
+            segment = segment_name_for(job_id)
+            store.append_cache_segment(segment, cache.items(start=preloaded))
+            seen.add(segment)  # our own entries are already in memory
+    return {"job_id": job_id, "outcome": outcome_to_dict(outcome)}
+
+
+@dataclass
+class CampaignRun:
+    """What one scheduler invocation did (and what remains)."""
+
+    campaign: str
+    ran: list[str] = field(default_factory=list)
+    skipped: list[str] = field(default_factory=list)
+    interrupted: list[str] = field(default_factory=list)
+    pending_after: list[str] = field(default_factory=list)
+    #: True when this invocation stopped early on a KeyboardInterrupt (its
+    #: own or one re-raised out of a best-less job).
+    stopped: bool = False
+    #: ``(job_id, error)`` pairs for pool jobs that raised instead of
+    #: returning an outcome (e.g. a deterministic "no feasible design").
+    #: Failed jobs stay pending; other jobs' results are persisted anyway.
+    failed: list = field(default_factory=list)
+    #: Outcomes of the jobs this invocation ran.  Inline runs hold the live
+    #: objects (including unserialized ``extras``); pool runs hold outcomes
+    #: round-tripped through JSON.
+    outcomes: dict[str, SearchOutcome] = field(default_factory=dict)
+
+    @property
+    def complete(self) -> bool:
+        """Whether the whole campaign grid is now complete."""
+        return not self.pending_after and not self.stopped
+
+    @property
+    def was_interrupted(self) -> bool:
+        return self.stopped or bool(self.interrupted)
+
+    def complete_outcomes(self) -> dict[str, SearchOutcome]:
+        """Every grid job's outcome, or a clean error for partial runs.
+
+        Re-raises ``KeyboardInterrupt`` when the run stopped on one (so
+        callers like the figure harnesses propagate the interrupt instead of
+        tripping over missing jobs) and ``RuntimeError`` when jobs remain for
+        another reason (``max_jobs`` / a shard slice).
+        """
+        if self.was_interrupted:
+            raise KeyboardInterrupt(
+                f"campaign {self.campaign!r} was interrupted with "
+                f"{len(self.pending_after)} jobs pending")
+        if self.failed:
+            job_id, error = self.failed[0]
+            raise RuntimeError(
+                f"campaign {self.campaign!r}: {len(self.failed)} jobs "
+                f"failed (first: {job_id}: {error})")
+        if self.pending_after:
+            raise RuntimeError(
+                f"campaign {self.campaign!r} is incomplete: "
+                f"{len(self.pending_after)} jobs pending (ran with max_jobs "
+                "or a shard slice?)")
+        return self.outcomes
+
+
+@dataclass
+class CampaignStatus:
+    """Completed / interrupted / pending id partition of one campaign grid."""
+
+    campaign: str
+    completed: list[str]
+    interrupted: list[str]
+    pending: list[str]
+
+    @property
+    def total(self) -> int:
+        return len(self.completed) + len(self.pending)
+
+
+class CampaignScheduler:
+    """Drives one campaign's grid against one result store."""
+
+    def __init__(
+        self,
+        spec: CampaignSpec,
+        store: ResultStore,
+        n_workers: int | None = None,
+        persist_cache: bool = True,
+        cache: EvaluationCache | None = None,
+    ) -> None:
+        if n_workers is not None and n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1 or None, got {n_workers}")
+        self.spec = spec
+        self.store = store
+        self.n_workers = n_workers
+        self.persist_cache = persist_cache
+        #: Optional caller-owned evaluation cache used by *inline* runs (the
+        #: fig9 harness shares it with its dependent post-campaign searches).
+        #: Worker-pool jobs keep their own per-process caches instead.
+        self.cache = cache
+
+    # ------------------------------------------------------------------ #
+    def status(self) -> CampaignStatus:
+        completed = self.store.completed_job_ids()
+        interrupted = self.store.interrupted_job_ids()
+        jobs = self.spec.jobs()
+        return CampaignStatus(
+            campaign=self.spec.name,
+            completed=[j.job_id for j in jobs if j.job_id in completed],
+            interrupted=[j.job_id for j in jobs if j.job_id in interrupted],
+            pending=[j.job_id for j in jobs if j.job_id not in completed],
+        )
+
+    def _select_jobs(self, max_jobs: int | None, shard_index: int | None,
+                     shard_count: int | None) -> tuple[list[JobSpec], list[str]]:
+        if (shard_index is None) != (shard_count is None):
+            raise ValueError("pass shard_index and shard_count together")
+        if shard_count is not None:
+            if shard_count < 1 or not 0 <= shard_index < shard_count:
+                raise ValueError(f"invalid shard {shard_index}/{shard_count}")
+        if max_jobs is not None and max_jobs < 1:
+            raise ValueError(f"max_jobs must be >= 1 or None, got {max_jobs}")
+        jobs = self.spec.jobs()
+        if shard_count is not None:
+            # Sharding slices the *full grid* (not the pending set), so each
+            # shard owns a stable subset across resumes.
+            jobs = [job for index, job in enumerate(jobs)
+                    if index % shard_count == shard_index]
+        completed = self.store.completed_job_ids()
+        skipped = [job.job_id for job in jobs if job.job_id in completed]
+        pending = [job for job in jobs if job.job_id not in completed]
+        if max_jobs is not None:
+            pending = pending[:max_jobs]
+        return pending, skipped
+
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        max_jobs: int | None = None,
+        shard_index: int | None = None,
+        shard_count: int | None = None,
+        on_job_done: JobCallback | None = None,
+    ) -> CampaignRun:
+        """Run (up to ``max_jobs``) pending jobs of this shard and persist them."""
+        selected, skipped = self._select_jobs(max_jobs, shard_index, shard_count)
+        run = CampaignRun(campaign=self.spec.name, skipped=skipped)
+        if selected:
+            if self.n_workers is not None and self.n_workers > 1:
+                self._run_pool(selected, run, on_job_done)
+            else:
+                self._run_inline(selected, run, on_job_done)
+        completed = self.store.completed_job_ids()
+        run.pending_after = [job.job_id for job in self.spec.jobs()
+                             if job.job_id not in completed]
+        if skipped:
+            # Backfill previously-completed jobs from the store so resumed
+            # runs expose the full grid through run.outcomes /
+            # complete_outcomes() (reloaded outcomes carry no extras).
+            payloads = self.store.latest_outcomes()
+            for job_id in skipped:
+                payload = payloads.get(job_id)
+                if job_id not in run.outcomes and payload is not None \
+                        and not payload.get("interrupted", False):
+                    run.outcomes[job_id] = outcome_from_dict(payload)
+        return run
+
+    # ------------------------------------------------------------------ #
+    def _persist(self, run: CampaignRun, job: JobSpec,
+                 outcome: SearchOutcome) -> None:
+        self.store.append(job.job_id, outcome_to_dict(outcome))
+        run.outcomes[job.job_id] = outcome
+        if outcome.interrupted:
+            run.interrupted.append(job.job_id)
+            run.stopped = True
+        else:
+            run.ran.append(job.job_id)
+
+    def _run_inline(self, jobs: list[JobSpec], run: CampaignRun,
+                    on_job_done: JobCallback | None) -> None:
+        cache = self.cache if self.cache is not None else EvaluationCache()
+        if self.persist_cache:
+            self.store.load_cache(cache)
+        for job in jobs:
+            preloaded = len(cache)
+            try:
+                outcome = execute_job(job, cache=cache)
+            except KeyboardInterrupt:
+                # Interrupted before the job had any feasible design: there
+                # is nothing worth persisting, the job simply re-runs later.
+                run.stopped = True
+                return
+            finally:
+                if self.persist_cache:
+                    self.store.append_cache_segment(
+                        segment_name_for(job.job_id),
+                        cache.items(start=preloaded))
+            self._persist(run, job, outcome)
+            if on_job_done is not None:
+                try:
+                    on_job_done(job, outcome)
+                except KeyboardInterrupt:
+                    run.stopped = True
+                    return
+            if outcome.interrupted:
+                return
+
+    def _run_pool(self, jobs: list[JobSpec], run: CampaignRun,
+                  on_job_done: JobCallback | None) -> None:
+        spec_payload = self.spec.to_dict()
+        store_dir = str(self.store.directory)
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX platforms
+            context = multiprocessing.get_context()
+        with ProcessPoolExecutor(max_workers=self.n_workers,
+                                 mp_context=context) as executor:
+            futures = {
+                executor.submit(_pool_run_job, spec_payload, job.job_id,
+                                store_dir, self.persist_cache): job
+                for job in jobs
+            }
+            outstanding = set(futures)
+            unprocessed: set = set()  # done futures not yet persisted
+            try:
+                while outstanding or unprocessed:
+                    if not unprocessed:
+                        done, outstanding = wait(outstanding,
+                                                 return_when=FIRST_COMPLETED)
+                        unprocessed |= done
+                    future = unprocessed.pop()
+                    job = futures[future]
+                    try:
+                        payload = future.result()
+                    except KeyboardInterrupt:
+                        # The worker was interrupted before its job had any
+                        # feasible design; nothing to persist, stop cleanly.
+                        run.stopped = True
+                        continue
+                    except Exception as error:  # noqa: BLE001 - job failure
+                        # A deterministic job failure must not discard the
+                        # other workers' results: record it, keep draining.
+                        run.failed.append((job.job_id, repr(error)))
+                        continue
+                    outcome = outcome_from_dict(payload["outcome"])
+                    self._persist(run, job, outcome)
+                    if on_job_done is not None:
+                        on_job_done(job, outcome)
+            except KeyboardInterrupt:
+                # A terminal Ctrl-C delivers SIGINT to the whole process
+                # group, so workers absorb it and return interrupted
+                # best-so-far outcomes; if only the parent was signalled,
+                # running workers finish their jobs normally.  Either way the
+                # executor shutdown waits for the running futures — persist
+                # everything they hand back (including futures that finished
+                # but were not yet processed) instead of discarding it.  A
+                # second interrupt abandons the drain.
+                run.stopped = True
+                remaining = unprocessed | {future for future in outstanding
+                                           if not future.cancel()}
+                try:
+                    while remaining:
+                        done, remaining = wait(remaining,
+                                               return_when=FIRST_COMPLETED)
+                        for future in done:
+                            job = futures[future]
+                            if job.job_id in run.outcomes:
+                                continue  # persisted before the interrupt
+                            try:
+                                payload = future.result()
+                            except BaseException:  # noqa: BLE001 - drain
+                                continue
+                            self._persist(run, job,
+                                          outcome_from_dict(payload["outcome"]))
+                except KeyboardInterrupt:
+                    pass
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    directory: str | Path | None = None,
+    n_workers: int | None = None,
+    persist_cache: bool = True,
+    max_jobs: int | None = None,
+    shard_index: int | None = None,
+    shard_count: int | None = None,
+    on_job_done: JobCallback | None = None,
+    cache: EvaluationCache | None = None,
+) -> CampaignRun:
+    """One-call facade: open (or create) the store and run the campaign.
+
+    ``directory=None`` runs the campaign through an ephemeral store in a
+    temporary directory — the full campaign machinery (store, spill, resume
+    bookkeeping) with nothing left on disk afterwards.  The experiment
+    harnesses use that mode, so figure results flow through exactly the code
+    path a persistent campaign exercises.  ``cache`` lets an inline caller
+    share one evaluation cache with work it runs after the campaign (results
+    are bit-identical with or without it).
+    """
+    if directory is None:
+        with tempfile.TemporaryDirectory(prefix="repro-campaign-") as temp:
+            return run_campaign(spec, directory=temp, n_workers=n_workers,
+                                persist_cache=persist_cache, max_jobs=max_jobs,
+                                shard_index=shard_index, shard_count=shard_count,
+                                on_job_done=on_job_done, cache=cache)
+    store = ResultStore(directory, spec=spec)
+    scheduler = CampaignScheduler(spec, store, n_workers=n_workers,
+                                  persist_cache=persist_cache, cache=cache)
+    return scheduler.run(max_jobs=max_jobs, shard_index=shard_index,
+                         shard_count=shard_count, on_job_done=on_job_done)

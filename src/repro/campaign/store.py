@@ -1,0 +1,353 @@
+"""The on-disk campaign result store: append-only JSONL + manifest + cache spill.
+
+Layout of a campaign directory::
+
+    <dir>/
+      manifest.json    # {"version": 1, "spec": CampaignSpec.to_dict()}
+      results.jsonl    # one record per finished job: {"job_id", "outcome"}
+      cache/           # reference-model cache spill, one segment per job
+        <segment>.jsonl
+
+Write semantics are chosen for crash safety without locks:
+
+* ``manifest.json`` and cache segments are written to a temporary file and
+  atomically renamed into place, so they are either absent or complete.
+* ``results.jsonl`` has a **single writer** (the scheduler parent process,
+  even when jobs run in a worker pool) that appends one line per record and
+  flushes+fsyncs it.  A crash can therefore leave at most a truncated *final*
+  line; :meth:`ResultStore.records` detects that tail, drops it, and the
+  interrupted job simply re-runs on resume.  An undecodable line anywhere
+  *else* means real corruption and raises instead of silently skipping data.
+* interrupted jobs are persisted too (their best-so-far outcome has
+  ``interrupted: true``); they are excluded from :meth:`completed_job_ids`,
+  so resume re-runs them and the final aggregate report only ever contains
+  completed, deterministic results.
+
+The cache spill is what makes the store double as a persistent cross-process
+:class:`~repro.eval.cache.EvaluationCache`: each job appends the exact-
+fingerprint entries it added, and later jobs — in this process or any other —
+preload them.  Entries are bit-identical reference-model results, so spilling
+never changes outcomes, only wall-clock time.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+from repro.arch.config import HardwareConfig
+from repro.campaign.spec import CampaignSpec
+from repro.eval.cache import CacheKey, EvaluationCache
+from repro.timeloop.model import PerformanceResult
+
+STORE_VERSION = 1
+
+MANIFEST_NAME = "manifest.json"
+RESULTS_NAME = "results.jsonl"
+CACHE_DIR_NAME = "cache"
+
+
+class StoreCorruptionError(ValueError):
+    """A non-tail record of ``results.jsonl`` could not be decoded."""
+
+
+# --------------------------------------------------------------------------- #
+# Cache entry (de)serialization
+# --------------------------------------------------------------------------- #
+def cache_entry_to_dict(key: CacheKey, result: PerformanceResult) -> dict[str, Any]:
+    """JSON payload of one exact-fingerprint cache entry.
+
+    The mapping fingerprint's factor bytes are hex-encoded verbatim, and all
+    floats ride on JSON's ``repr`` round-trip, so a reloaded entry is
+    bit-identical to the stored one.
+    """
+    fingerprint, config = key
+    dims, orderings, temporal, spatial = fingerprint
+    return {
+        "k": {
+            "dims": list(dims),
+            "ord": list(orderings),
+            "t": temporal.hex(),
+            "s": spatial.hex(),
+            "hw": [config.pe_dim, config.accumulator_kb, config.scratchpad_kb],
+        },
+        "r": {
+            "latency_cycles": result.latency_cycles,
+            "energy": result.energy,
+            "compute_latency": result.compute_latency,
+            "memory_latency": {str(level): value
+                               for level, value in result.memory_latency.items()},
+            "accesses": {str(level): value
+                         for level, value in result.accesses.items()},
+            "macs": result.macs,
+        },
+    }
+
+
+def cache_entry_from_dict(payload: Mapping[str, Any]) -> tuple[CacheKey, PerformanceResult]:
+    key_payload = payload["k"]
+    result_payload = payload["r"]
+    pe_dim, accumulator_kb, scratchpad_kb = key_payload["hw"]
+    key: CacheKey = (
+        (
+            tuple(int(value) for value in key_payload["dims"]),
+            tuple(str(value) for value in key_payload["ord"]),
+            bytes.fromhex(key_payload["t"]),
+            bytes.fromhex(key_payload["s"]),
+        ),
+        HardwareConfig(pe_dim=int(pe_dim), accumulator_kb=int(accumulator_kb),
+                       scratchpad_kb=int(scratchpad_kb)),
+    )
+    result = PerformanceResult(
+        latency_cycles=float(result_payload["latency_cycles"]),
+        energy=float(result_payload["energy"]),
+        compute_latency=float(result_payload["compute_latency"]),
+        memory_latency={int(level): float(value)
+                        for level, value in result_payload["memory_latency"].items()},
+        accesses={int(level): float(value)
+                  for level, value in result_payload["accesses"].items()},
+        macs=float(result_payload["macs"]),
+    )
+    return key, result
+
+
+def segment_name_for(job_id: str) -> str:
+    """Filesystem-safe cache segment name for one job's spill."""
+    return f"job-{hashlib.sha256(job_id.encode()).hexdigest()[:16]}.jsonl"
+
+
+# --------------------------------------------------------------------------- #
+# The store
+# --------------------------------------------------------------------------- #
+class ResultStore:
+    """One campaign's persistent results (append-only) and cache spill.
+
+    Opening a directory that already holds a manifest loads its spec; passing
+    ``spec`` as well verifies it matches (resuming a campaign with a
+    *different* grid would silently mix results, so it is an error).  A fresh
+    directory requires ``spec`` and writes the manifest atomically.
+
+    ``writer=False`` opens the store as a non-writing reader of
+    ``results.jsonl`` (campaign *worker* processes use this): the
+    crash-tail repair is skipped — repairing would race the parent's
+    concurrent appends — and :meth:`append` is forbidden.  Cache spill
+    segments may still be written; each job owns its own segment file.
+    """
+
+    def __init__(self, directory: str | Path,
+                 spec: CampaignSpec | None = None,
+                 writer: bool = True) -> None:
+        self.writer = writer
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        manifest_path = self.directory / MANIFEST_NAME
+        if manifest_path.exists():
+            manifest = json.loads(manifest_path.read_text())
+            self.spec = CampaignSpec.from_dict(manifest["spec"])
+            if spec is not None and spec.to_dict() != self.spec.to_dict():
+                raise ValueError(
+                    f"campaign store {self.directory} was created for spec "
+                    f"{self.spec.name!r} with a different grid; refusing to mix "
+                    "results (use a fresh directory for a changed spec)")
+        else:
+            if spec is None:
+                raise ValueError(f"{self.directory} holds no campaign manifest; "
+                                 "pass the CampaignSpec to create one")
+            self.spec = spec
+            payload = {"version": STORE_VERSION, "spec": spec.to_dict()}
+            self._write_atomic(manifest_path, json.dumps(payload, indent=2) + "\n")
+        #: True when a truncated tail record (crash mid-append) was detected
+        #: and dropped, either while opening the store or while reading.
+        self.dropped_truncated_tail = False
+        if self.writer:
+            self._repair_tail()
+
+    # ------------------------------------------------------------------ #
+    @property
+    def results_path(self) -> Path:
+        return self.directory / RESULTS_NAME
+
+    @property
+    def cache_dir(self) -> Path:
+        return self.directory / CACHE_DIR_NAME
+
+    def _write_atomic(self, path: Path, text: str) -> None:
+        """Complete-or-absent file write: temp + fsync + rename + dir fsync."""
+        temp = path.with_name(path.name + ".tmp")
+        with open(temp, "w") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp, path)
+        directory_fd = os.open(path.parent, os.O_RDONLY)
+        try:
+            os.fsync(directory_fd)
+        finally:
+            os.close(directory_fd)
+
+    # ------------------------------------------------------------------ #
+    # Result records
+    # ------------------------------------------------------------------ #
+    def _repair_tail(self) -> None:
+        """Heal a crash-truncated final line before any further appends.
+
+        A crash mid-append leaves ``results.jsonl`` ending in a partial line
+        (no trailing newline).  Appending after it without repair would glue
+        the next record onto the fragment, corrupting *both*; so on open, a
+        complete-but-unterminated final record gets its newline restored and
+        a half-written one is truncated away (the job re-runs on resume).
+        """
+        path = self.results_path
+        if not path.exists():
+            return
+        data = path.read_bytes()
+        if not data or data.endswith(b"\n"):
+            return
+        complete, _, tail = data.rpartition(b"\n")
+        try:
+            record = json.loads(tail)
+            intact = (isinstance(record, dict)
+                      and "job_id" in record and "outcome" in record)
+        except ValueError:
+            intact = False
+        with open(path, "r+b") as handle:
+            if intact:
+                # The record made it to disk, only its newline did not.
+                handle.seek(0, os.SEEK_END)
+                handle.write(b"\n")
+            else:
+                handle.truncate(len(complete) + 1 if complete else 0)
+                self.dropped_truncated_tail = True
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def append(self, job_id: str, outcome_payload: Mapping[str, Any]) -> None:
+        """Append one finished job's record (single-writer, flushed+fsynced)."""
+        if not self.writer:
+            raise RuntimeError("this store was opened writer=False (worker "
+                               "mode); only the scheduler parent appends "
+                               "result records")
+        record = {"job_id": job_id, "outcome": dict(outcome_payload)}
+        line = json.dumps(record, separators=(",", ":"))
+        with open(self.results_path, "a") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def records(self) -> list[dict[str, Any]]:
+        """All decodable records, oldest first (duplicates *not* collapsed).
+
+        A truncated final line — the signature of a crash mid-append — is
+        dropped (and flagged on :attr:`dropped_truncated_tail`) so the
+        half-written job re-runs on resume; an invalid line before the tail
+        raises :class:`StoreCorruptionError`.  (Opening the store already
+        repairs such a tail on disk; the tolerance here additionally covers
+        reading a file another process is appending to.)
+        """
+        if not self.results_path.exists():
+            return []
+        lines = self.results_path.read_text().splitlines()
+        records: list[dict[str, Any]] = []
+        for number, line in enumerate(lines, start=1):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+                if not isinstance(record, dict) or "job_id" not in record \
+                        or "outcome" not in record:
+                    raise ValueError("record missing job_id/outcome")
+            except ValueError:
+                if number == len(lines):
+                    self.dropped_truncated_tail = True
+                    continue
+                raise StoreCorruptionError(
+                    f"{self.results_path}:{number}: undecodable result record "
+                    "(not a truncated tail; the store is corrupt)") from None
+            records.append(record)
+        return records
+
+    def latest_outcomes(self) -> dict[str, dict[str, Any]]:
+        """Last persisted outcome payload per job id (later records win)."""
+        latest: dict[str, dict[str, Any]] = {}
+        for record in self.records():
+            latest[str(record["job_id"])] = record["outcome"]
+        return latest
+
+    def completed_job_ids(self) -> set[str]:
+        """Jobs whose latest record is a *completed* (non-interrupted) run."""
+        return {job_id for job_id, outcome in self.latest_outcomes().items()
+                if not outcome.get("interrupted", False)}
+
+    def interrupted_job_ids(self) -> set[str]:
+        """Jobs whose latest persisted record is an interrupted best-so-far."""
+        return {job_id for job_id, outcome in self.latest_outcomes().items()
+                if outcome.get("interrupted", False)}
+
+    # ------------------------------------------------------------------ #
+    # Evaluation-cache spill
+    # ------------------------------------------------------------------ #
+    def append_cache_segment(
+        self, segment: str,
+        entries: Iterable[tuple[CacheKey, PerformanceResult]],
+    ) -> int:
+        """Persist one job's new cache entries as an atomic segment file.
+
+        Returns the number of entries written; an empty iterable writes
+        nothing.  Segments are complete-or-absent (temp file + rename), so a
+        crash mid-spill never leaves a partial segment behind — at worst the
+        entries are re-evaluated later, which is only a wall-clock cost.
+        """
+        lines = [json.dumps(cache_entry_to_dict(key, result),
+                            separators=(",", ":"))
+                 for key, result in entries]
+        if not lines:
+            return 0
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        self._write_atomic(self.cache_dir / segment, "\n".join(lines) + "\n")
+        return len(lines)
+
+    def load_cache(self, cache: EvaluationCache | None = None) -> EvaluationCache:
+        """Preload every spilled entry into ``cache`` (a new one by default).
+
+        Undecodable spill lines are skipped — the spill is purely an
+        accelerator, so dropping a damaged entry is always safe.
+        """
+        cache = cache if cache is not None else EvaluationCache()
+        self.load_cache_segments(cache, skip=frozenset())
+        return cache
+
+    def load_cache_segments(self, cache: EvaluationCache,
+                            skip: "frozenset[str] | set[str]") -> set[str]:
+        """Load spill segments whose names are not in ``skip`` into ``cache``.
+
+        Returns the names actually loaded, so long-lived processes (pool
+        workers running many jobs) can load each segment once and only pick
+        up segments other jobs added since.  Entries are append-only and
+        bit-identical, so incremental loading can never go stale.
+        """
+        if not self.cache_dir.is_dir():
+            return set()
+        loaded: set[str] = set()
+        for segment in sorted(self.cache_dir.glob("*.jsonl")):
+            if segment.name in skip:
+                continue
+            loaded.add(segment.name)
+            for line in segment.read_text().splitlines():
+                if not line.strip():
+                    continue
+                try:
+                    key, result = cache_entry_from_dict(json.loads(line))
+                except (ValueError, KeyError, TypeError):
+                    continue
+                cache.store(key, result)
+        return loaded
+
+    def spilled_entry_count(self) -> int:
+        """Total entries across all spill segments (for status displays)."""
+        if not self.cache_dir.is_dir():
+            return 0
+        return sum(len(segment.read_text().splitlines())
+                   for segment in sorted(self.cache_dir.glob("*.jsonl")))

@@ -24,7 +24,22 @@ Unified search (any registered strategy, one outcome format)::
 ``--max-seconds`` budget uniformly, prints best-so-far progress via the
 callback hooks, and can persist the full outcome (best design, trace,
 settings snapshot) as JSON with ``--json`` for later reloading through
-:func:`repro.utils.serialization.load_outcome`.
+:func:`repro.utils.serialization.load_outcome`.  Ctrl-C ends a search
+gracefully: the best-so-far outcome is reported (and written with
+``--json``) instead of a traceback.
+
+Experiment campaigns (grids of searches with a persistent store)::
+
+    python -m repro.cli campaign run spec.json --dir campaigns/my-sweep
+    python -m repro.cli campaign status --dir campaigns/my-sweep
+    python -m repro.cli campaign report --dir campaigns/my-sweep
+
+``campaign run`` executes the grid declared in the spec JSON (see
+``docs/campaign.md``), skipping jobs already completed in ``--dir`` —
+interrupt it at any point and re-run the same command to resume.
+``--n-workers`` shards jobs across processes; ``--shard I/N`` runs a
+deterministic 1/N slice of the grid (for splitting one campaign across
+machines); ``--max-jobs K`` stops after K jobs.
 """
 
 from __future__ import annotations
@@ -128,18 +143,118 @@ def _run_search(args: argparse.Namespace) -> int:
     print(f"[repro] searching {args.network} with strategy {args.strategy!r} "
           f"(max_samples={args.max_samples}, max_seconds={args.max_seconds}, "
           f"seed={args.seed}, n_workers={args.n_workers})")
-    outcome = optimize(args.network, strategy=args.strategy, budget=budget,
-                       seed=args.seed, callbacks=ProgressCallback(prefix="[repro]"),
-                       n_workers=args.n_workers, **searcher_kwargs)
+    try:
+        outcome = optimize(args.network, strategy=args.strategy, budget=budget,
+                           seed=args.seed, callbacks=ProgressCallback(prefix="[repro]"),
+                           n_workers=args.n_workers, **searcher_kwargs)
+    except KeyboardInterrupt:
+        # The searchers absorb Ctrl-C and return their best-so-far outcome;
+        # reaching this handler means the interrupt landed before any
+        # feasible design existed, so there is nothing to report or persist.
+        print("\n[repro] interrupted before any feasible design was found",
+              file=sys.stderr)
+        return 130
 
-    print(f"[repro] {outcome.method} finished: best EDP {outcome.best_edp:.4e} "
+    verb = "interrupted" if outcome.interrupted else "finished"
+    print(f"[repro] {outcome.method} {verb}: best EDP {outcome.best_edp:.4e} "
           f"after {outcome.total_samples} samples "
           f"in {outcome.wall_time_seconds:.1f}s")
     print(f"[repro]   hardware: {outcome.best_hardware.describe()}")
     if args.json:
         path = save_outcome(args.json, outcome)
         print(f"[repro]   outcome written to {path}")
+    if outcome.interrupted:
+        print("[repro]   (best-so-far result of an interrupted search)")
+        return 130
     return 0
+
+
+def _run_campaign_command(args: argparse.Namespace) -> int:
+    from repro.campaign import (
+        CampaignReport,
+        CampaignScheduler,
+        CampaignSpec,
+        ResultStore,
+    )
+
+    if args.campaign_command == "run":
+        try:
+            spec = CampaignSpec.load(args.spec)
+        except (OSError, ValueError, KeyError) as error:
+            print(f"repro.cli campaign: error: cannot load spec {args.spec}: "
+                  f"{error}", file=sys.stderr)
+            return 2
+        shard_index = shard_count = None
+        if args.shard:
+            try:
+                index_text, _, count_text = args.shard.partition("/")
+                shard_index, shard_count = int(index_text), int(count_text)
+            except ValueError:
+                print("repro.cli campaign: error: --shard must be I/N "
+                      "(e.g. 0/4)", file=sys.stderr)
+                return 2
+        try:
+            store = ResultStore(args.dir, spec=spec)
+            scheduler = CampaignScheduler(spec, store, n_workers=args.n_workers,
+                                          persist_cache=not args.no_cache_spill)
+            status = scheduler.status()
+            print(f"[campaign] {spec.name}: {status.total} grid jobs, "
+                  f"{len(status.completed)} already complete")
+
+            def announce(job, outcome):
+                state = "interrupted" if outcome.interrupted else "done"
+                print(f"[campaign] {state}: {job.job_id} "
+                      f"best EDP {outcome.best_edp:.4e} "
+                      f"after {outcome.total_samples} samples")
+
+            run = scheduler.run(max_jobs=args.max_jobs,
+                                shard_index=shard_index,
+                                shard_count=shard_count,
+                                on_job_done=announce)
+        except ValueError as error:
+            print(f"repro.cli campaign: error: {error}", file=sys.stderr)
+            return 2
+        print(f"[campaign] ran {len(run.ran)} jobs, skipped "
+              f"{len(run.skipped)} already-complete, "
+              f"{len(run.pending_after)} still pending")
+        for job_id, error in run.failed:
+            print(f"[campaign] FAILED: {job_id}: {error}", file=sys.stderr)
+        if run.was_interrupted:
+            print("[campaign] interrupted — re-run the same command to resume")
+            return 130
+        return 1 if run.failed else 0
+
+    try:
+        store = ResultStore(args.dir)
+    except (OSError, ValueError) as error:
+        print(f"repro.cli campaign: error: {error}", file=sys.stderr)
+        return 2
+
+    if args.campaign_command == "status":
+        scheduler = CampaignScheduler(store.spec, store)
+        status = scheduler.status()
+        print(f"== campaign {status.campaign} ==")
+        print(f"jobs: {status.total} total | {len(status.completed)} completed "
+              f"| {len(status.interrupted)} interrupted (re-run on resume) "
+              f"| {len(status.pending)} pending")
+        print(f"cache spill: {store.spilled_entry_count()} entries")
+        for job_id in status.pending:
+            marker = ("interrupted" if job_id in status.interrupted
+                      else "pending")
+            print(f"  {marker:<11} {job_id}")
+        return 0
+
+    if args.campaign_command == "report":
+        report = CampaignReport.from_store(store)
+        text = report.to_text()
+        if args.out:
+            report.save(args.out)
+            print(f"[campaign] report written to {args.out}")
+        else:
+            print(text, end="")
+        return 0
+
+    raise AssertionError(f"unhandled campaign command {args.campaign_command}")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -180,24 +295,67 @@ def _build_parser() -> argparse.ArgumentParser:
     search.add_argument("--fixed-hardware", nargs=3, type=int, default=None,
                         metavar=("PE_DIM", "ACC_KB", "SP_KB"),
                         help="hardware for the fixed_hw_random strategy")
+
+    campaign = subparsers.add_parser(
+        "campaign", help="run/inspect sharded, resumable experiment campaigns")
+    campaign_sub = campaign.add_subparsers(dest="campaign_command", required=True)
+
+    campaign_run = campaign_sub.add_parser(
+        "run", help="run a campaign spec's grid (resumes a partial store)")
+    campaign_run.add_argument("spec", help="campaign spec JSON (docs/campaign.md)")
+    campaign_run.add_argument("--dir", required=True,
+                              help="campaign store directory (created if missing)")
+    campaign_run.add_argument("--n-workers", type=int, default=None,
+                              help="process-shard jobs across N workers "
+                                   "(default: run jobs inline, in order)")
+    campaign_run.add_argument("--max-jobs", type=int, default=None,
+                              help="stop after running K jobs this invocation")
+    campaign_run.add_argument("--shard", metavar="I/N", default=None,
+                              help="run only the I-th of N deterministic grid "
+                                   "slices (multi-machine campaigns)")
+    campaign_run.add_argument("--no-cache-spill", action="store_true",
+                              help="disable the persistent evaluation-cache "
+                                   "spill (results are identical, just slower)")
+
+    campaign_status = campaign_sub.add_parser(
+        "status", help="show completed/interrupted/pending jobs of a store")
+    campaign_status.add_argument("--dir", required=True,
+                                 help="campaign store directory")
+
+    campaign_report = campaign_sub.add_parser(
+        "report", help="aggregate a store's completed jobs into tables")
+    campaign_report.add_argument("--dir", required=True,
+                                 help="campaign store directory")
+    campaign_report.add_argument("--out", default=None,
+                                 help="write the report to a file instead of stdout")
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
 
-    if args.command == "search":
-        return _run_search(args)
-    if args.command == "list":
-        for name in sorted(_EXPERIMENTS):
-            print(f"{name:<6} {_DESCRIPTIONS[name]}")
+    try:
+        if args.command == "search":
+            return _run_search(args)
+        if args.command == "campaign":
+            return _run_campaign_command(args)
+        if args.command == "list":
+            for name in sorted(_EXPERIMENTS):
+                print(f"{name:<6} {_DESCRIPTIONS[name]}")
+            return 0
+        if args.command == "all":
+            for name in sorted(_EXPERIMENTS):
+                _run_one(name, args.scale)
+            return 0
+        _run_one(args.command, args.scale)
         return 0
-    if args.command == "all":
-        for name in sorted(_EXPERIMENTS):
-            _run_one(name, args.scale)
+    except BrokenPipeError:
+        # stdout went away (e.g. `... | head`); not an error worth a traceback.
+        try:
+            sys.stdout.close()
+        except BrokenPipeError:
+            pass
         return 0
-    _run_one(args.command, args.scale)
-    return 0
 
 
 if __name__ == "__main__":

@@ -192,7 +192,8 @@ class DosaSearcher:
         # across steps and start points, so repeats are common.  A shared
         # cache (e.g. from an experiment harness running several strategies)
         # persists those hits across runs.
-        with EvaluationEngine(cache=self.cache, n_workers=self.n_workers) as engine:
+        with EvaluationEngine(cache=self.cache, n_workers=self.n_workers) as engine, \
+                session.absorb_interrupt():
             if settings.batched_starts and settings.batched_model:
                 if not session.exhausted():
                     self._descend_all(start_points, session, engine)
@@ -270,16 +271,33 @@ class DosaSearcher:
     def _round_and_evaluate_all(self, factors: MultiStartFactors,
                                 active: np.ndarray, session: SearchSession,
                                 engine: EvaluationEngine) -> None:
-        """Round + reference-evaluate every active start, then re-snap them."""
+        """Round + reference-evaluate every active start, then re-snap them.
+
+        All active starts' reference evaluations go through one
+        :meth:`~repro.eval.engine.EvaluationEngine.evaluate_network_sets`
+        call: the traffic analysis is hardware-independent, so S starts' L
+        mappings share a single vectorized pass even when each start derived
+        different hardware, and starts that snapped onto identical rounded
+        designs are evaluated once.  Sample accounting, candidate order and
+        every result stay identical to scoring the starts one at a time.
+        """
         max_spatial = (self.settings.fixed_pe_dim
                        or self.settings.bounds.max_pe_dim)
+        starts = [int(start) for start in np.flatnonzero(active)]
+        prepared = [
+            self._prepare_rounded(
+                factors.rounded_mappings_of(start, max_spatial=max_spatial),
+                batched_ordering=True)
+            for start in starts
+        ]
+        performances = engine.evaluate_network_sets(prepared)
         snapped: dict[int, list[Mapping]] = {}
-        for start in np.flatnonzero(active):
-            rounded = factors.rounded_mappings_of(start, max_spatial=max_spatial)
-            candidate = self._score_rounded(rounded, session, engine,
-                                            batched_ordering=True)
+        for start, (rounded, hardware), performance in zip(starts, prepared,
+                                                           performances):
+            candidate = self._candidate_from(rounded, hardware, performance,
+                                             session)
             session.offer(candidate)
-            snapped[int(start)] = candidate.mappings
+            snapped[start] = candidate.mappings
         # Continue each active descent from its snapped point.
         factors.load_mapping_sets(snapped)
 
@@ -389,19 +407,14 @@ class DosaSearcher:
         return candidate
 
     # ------------------------------------------------------------------ #
-    def _score_rounded(self, rounded: list[Mapping], session: SearchSession,
-                       engine: EvaluationEngine, *,
-                       batched_ordering: bool) -> CandidateDesign:
-        """Turn one start's rounded mappings into a reference-scored candidate.
+    def _prepare_rounded(
+        self, rounded: list[Mapping], *, batched_ordering: bool,
+    ) -> tuple[list[Mapping], HardwareConfig]:
+        """Ordering re-selection + hardware derivation for one rounded start.
 
-        The shared tail of every rounding point — ITERATE ordering
-        re-selection, minimal-hardware derivation (with the ``fixed_pe_dim``
-        override), reference evaluation, latency adjustment and sample
-        accounting — so the sequential and start-batched schedules construct
-        candidates through literally the same code.  ``batched_ordering``
-        selects orderings over a stacked :class:`NetworkFactors` in one pass
-        (same decisions); the per-layer scan is kept as the parity oracle for
-        the per-layer model path.
+        ``batched_ordering`` selects ITERATE orderings over a stacked
+        :class:`NetworkFactors` in one pass (same decisions); the per-layer
+        scan is kept as the parity oracle for the per-layer model path.
         """
         settings = self.settings
         if settings.ordering_strategy is LoopOrderingStrategy.ITERATE:
@@ -422,11 +435,36 @@ class DosaSearcher:
                 accumulator_kb=hardware.accumulator_kb,
                 scratchpad_kb=hardware.scratchpad_kb,
             )
-        performance = engine.evaluate_network(rounded, hardware)
+        return rounded, hardware
+
+    def _candidate_from(
+        self, rounded: list[Mapping], hardware: HardwareConfig,
+        performance: NetworkPerformance, session: SearchSession,
+    ) -> CandidateDesign:
+        """Latency adjustment + sample accounting for one evaluated start."""
         performance = self._adjust_performance(rounded, hardware, performance)
         session.spend(len(rounded))
         return CandidateDesign(hardware=hardware, mappings=rounded,
                                performance=performance)
+
+    def _score_rounded(self, rounded: list[Mapping], session: SearchSession,
+                       engine: EvaluationEngine, *,
+                       batched_ordering: bool) -> CandidateDesign:
+        """Turn one start's rounded mappings into a reference-scored candidate.
+
+        The shared tail of every rounding point — ITERATE ordering
+        re-selection, minimal-hardware derivation (with the ``fixed_pe_dim``
+        override), reference evaluation, latency adjustment and sample
+        accounting — so the sequential and start-batched schedules construct
+        candidates through literally the same code (the start-batched
+        schedule only swaps the single-set evaluation for the cross-start
+        :meth:`~repro.eval.engine.EvaluationEngine.evaluate_network_sets`
+        batch, which is bit-identical per set).
+        """
+        rounded, hardware = self._prepare_rounded(
+            rounded, batched_ordering=batched_ordering)
+        performance = engine.evaluate_network(rounded, hardware)
+        return self._candidate_from(rounded, hardware, performance, session)
 
     # ------------------------------------------------------------------ #
     def _adjust_performance(

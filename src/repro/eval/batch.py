@@ -331,8 +331,39 @@ def _dram_accesses_block_rounded(traffic: BatchTraffic) -> np.ndarray:
     return total
 
 
+def _spec_rate_arrays(
+    spec: "GemminiSpec | list[GemminiSpec]",
+) -> tuple[np.ndarray, np.ndarray, "float | np.ndarray"]:
+    """Bandwidth / access-energy / MAC-energy rates of one spec or one per row.
+
+    For a single spec the arrays are ``(levels,)`` shaped and broadcast over
+    the batch exactly as before; for a per-mapping spec list they are
+    ``(B, levels)`` shaped, so every downstream operation stays elementwise
+    per row — the same float operations in the same order, hence the same
+    bit-identity guarantee.
+    """
+    specs = [spec] if isinstance(spec, GemminiSpec) else spec
+    bandwidths = np.empty((len(specs), len(MEMORY_LEVEL_INDICES)))
+    access_energy = np.empty((len(specs), len(MEMORY_LEVEL_INDICES)))
+    for row, entry in enumerate(specs):
+        for position, level in enumerate(MEMORY_LEVEL_INDICES):
+            bandwidth = entry.bandwidth(level)
+            if not bandwidth > 0.0:
+                raise ValueError(
+                    f"cannot compute memory latency: level {level} "
+                    f"({MEMORY_LEVELS[level].name}) has non-positive bandwidth "
+                    f"{bandwidth!r} words/cycle"
+                )
+            bandwidths[row, position] = bandwidth
+            access_energy[row, position] = entry.energy_per_access(level)
+    if isinstance(spec, GemminiSpec):
+        return bandwidths[0], access_energy[0], spec.mac_energy
+    return bandwidths, access_energy, np.array([s.mac_energy for s in specs])
+
+
 def _results_from_traffic_batch(
-    traffic: BatchTraffic, arrays: _MappingArrays, spec: GemminiSpec
+    traffic: BatchTraffic, arrays: _MappingArrays,
+    spec: "GemminiSpec | list[GemminiSpec]",
 ) -> list[PerformanceResult]:
     """Assemble :class:`PerformanceResult` objects for a whole batch at once.
 
@@ -341,6 +372,9 @@ def _results_from_traffic_batch(
     :func:`repro.timeloop.accelergy.energy_breakdown` walk: latencies, the
     roofline max and the energy sum are computed as ``(B,)`` arrays with the
     scalar path's operation order, so every field stays bit-identical.
+    ``spec`` may be one shared spec or a list of one spec per mapping (the
+    cross-start rounding-point batches of the DOSA searcher evaluate several
+    derived hardware configurations in one call).
     """
     macs = traffic.macs
     count = len(macs)
@@ -348,16 +382,7 @@ def _results_from_traffic_batch(
     compute_latency = macs / parallelism
 
     accesses = traffic.per_level_accesses()  # (B, levels), scalar-order sums
-    bandwidths = np.empty(len(MEMORY_LEVEL_INDICES))
-    for position, level in enumerate(MEMORY_LEVEL_INDICES):
-        bandwidth = spec.bandwidth(level)
-        if not bandwidth > 0.0:
-            raise ValueError(
-                f"cannot compute memory latency: level {level} "
-                f"({MEMORY_LEVELS[level].name}) has non-positive bandwidth "
-                f"{bandwidth!r} words/cycle"
-            )
-        bandwidths[position] = bandwidth
+    bandwidths, access_energy, mac_energy = _spec_rate_arrays(spec)
     memory_latency = accesses / bandwidths
     latency = np.maximum(compute_latency, memory_latency.max(axis=1))
 
@@ -367,8 +392,8 @@ def _results_from_traffic_batch(
     for position, level in enumerate(MEMORY_LEVEL_INDICES):
         level_accesses = (_dram_accesses_block_rounded(traffic)
                           if level == LEVEL_DRAM else accesses[:, position])
-        level_total = level_total + level_accesses * spec.energy_per_access(level)
-    energy = macs * spec.mac_energy + level_total
+        level_total = level_total + level_accesses * access_energy[..., position]
+    energy = macs * mac_energy + level_total
 
     return [
         PerformanceResult(
@@ -404,3 +429,27 @@ def evaluate_mappings_batched(
         _batch_validate(mappings, arrays)
     traffic = batch_analyze_traffic(mappings, arrays)
     return _results_from_traffic_batch(traffic, arrays, spec)
+
+
+def evaluate_mapping_spec_pairs(
+    pairs: "list[tuple[Mapping, GemminiSpec | HardwareConfig]]",
+    check_validity: bool = True,
+) -> list[PerformanceResult]:
+    """One vectorized pass over ``(mapping, spec)`` pairs with *mixed* specs.
+
+    The traffic walk is hardware-independent, so a batch spanning several
+    hardware configurations (e.g. every start point's rounding evaluation of
+    one DOSA step, each on its own derived hardware) still pays the stacked
+    array analysis only once; the spec enters only through the per-row
+    bandwidth/energy rates.  Each pair's result is bit-identical to
+    ``evaluate_mapping(mapping, spec)``.
+    """
+    if not pairs:
+        return []
+    mappings = [mapping for mapping, _ in pairs]
+    specs = [as_spec(spec) for _, spec in pairs]
+    arrays = _MappingArrays.from_mappings(mappings)
+    if check_validity:
+        _batch_validate(mappings, arrays)
+    traffic = batch_analyze_traffic(mappings, arrays)
+    return _results_from_traffic_batch(traffic, arrays, specs)

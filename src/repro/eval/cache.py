@@ -35,6 +35,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
+from itertools import islice
 
 from repro.arch.config import HardwareConfig
 from repro.arch.gemmini import GemminiSpec
@@ -149,6 +150,18 @@ class EvaluationCache:
         return result
 
     # ------------------------------------------------------------------ #
+    def items(self, start: int = 0) -> list[tuple[CacheKey, PerformanceResult]]:
+        """Snapshot of entries in insertion order, from ``start`` on (no LRU
+        refresh).
+
+        With the default unbounded cache the order is stable append-only,
+        which lets the campaign store spill exactly the entries one job
+        added: ``cache.items(start=count_before)``.
+        """
+        items = islice(self._entries.items(), start, None) if start else \
+            self._entries.items()
+        return list(items)
+
     def __len__(self) -> int:
         return len(self._entries)
 

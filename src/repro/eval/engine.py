@@ -21,9 +21,11 @@ cache hit or not, keeping the paper's accounting and trace comparability.
 
 from __future__ import annotations
 
+from typing import Sequence
+
 from repro.arch.config import HardwareConfig
 from repro.arch.gemmini import GemminiSpec
-from repro.eval.batch import evaluate_mappings_batched
+from repro.eval.batch import evaluate_mapping_spec_pairs, evaluate_mappings_batched
 from repro.eval.cache import CacheKey, CacheStats, EvaluationCache
 from repro.eval.parallel import ParallelEvaluator
 from repro.mapping.mapping import Mapping
@@ -114,6 +116,83 @@ class EvaluationEngine:
                 for index in indices:
                     results[index] = result
         return results  # type: ignore[return-value]
+
+    def evaluate_pairs(
+        self, pairs: "Sequence[tuple[Mapping, GemminiSpec | HardwareConfig]]"
+    ) -> list[PerformanceResult]:
+        """Evaluate ``(mapping, spec)`` pairs with *mixed* hardware, in order.
+
+        The mixed-spec counterpart of :meth:`evaluate_many`: cache hits
+        (including duplicate pairs within the batch) are free, and the
+        remaining unique misses run through one vectorized pass — the traffic
+        walk is hardware-independent, so mappings bound for different specs
+        still share a single stacked analysis.
+        """
+        if not pairs:
+            return []
+        resolved = [(mapping, as_spec(spec)) for mapping, spec in pairs]
+        results: list[PerformanceResult | None] = [None] * len(resolved)
+        pending: dict[CacheKey, list[int]] = {}
+        for index, (mapping, spec) in enumerate(resolved):
+            key = self.cache.key_for(mapping, spec)
+            cached = self.cache.get(key)
+            if cached is not None:
+                self.cache.record(hit=True)
+                results[index] = cached
+            elif key in pending:
+                self.cache.record(hit=True)
+                pending[key].append(index)
+            else:
+                self.cache.record(hit=False)
+                pending[key] = [index]
+
+        if pending:
+            unique = [resolved[indices[0]] for indices in pending.values()]
+            if self._pool is not None and len(unique) >= _MIN_PARALLEL_BATCH:
+                evaluated = self._pool.evaluate_pairs(
+                    unique, check_validity=self.check_validity)
+            else:
+                evaluated = evaluate_mapping_spec_pairs(
+                    unique, check_validity=self.check_validity)
+            for (key, indices), result in zip(pending.items(), evaluated):
+                self.cache.store(key, result)
+                for index in indices:
+                    results[index] = result
+        return results  # type: ignore[return-value]
+
+    def evaluate_network_sets(
+        self,
+        sets: "Sequence[tuple[list[Mapping], GemminiSpec | HardwareConfig]]",
+    ) -> list[NetworkPerformance]:
+        """Evaluate several whole-network mapping sets in one batched pass.
+
+        Each ``(mappings, spec)`` set composes exactly like
+        :meth:`evaluate_network` (same repetition scaling, same summation
+        order), so per-set results are bit-identical to evaluating the sets
+        one at a time — but all sets' cache misses share a single vectorized
+        evaluation, and duplicates *across* sets on the same hardware are
+        served once.  The DOSA searcher scores every active start point's
+        rounding evaluation through this path.
+        """
+        pairs = [(mapping, spec) for mappings, spec in sets for mapping in mappings]
+        flat = self.evaluate_pairs(pairs)
+        performances: list[NetworkPerformance] = []
+        cursor = 0
+        for mappings, _spec in sets:
+            if not mappings:
+                raise ValueError("evaluate_network_sets requires non-empty sets")
+            results = flat[cursor:cursor + len(mappings)]
+            cursor += len(mappings)
+            total_latency = sum(r.latency_cycles * m.layer.repeats
+                                for r, m in zip(results, mappings))
+            total_energy = sum(r.energy * m.layer.repeats
+                               for r, m in zip(results, mappings))
+            performances.append(NetworkPerformance(
+                total_latency=total_latency,
+                total_energy=total_energy,
+                per_layer=tuple(results),
+            ))
+        return performances
 
     def evaluate_network(
         self, mappings: list[Mapping], spec: GemminiSpec | HardwareConfig

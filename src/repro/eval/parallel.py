@@ -21,7 +21,7 @@ from concurrent.futures import ProcessPoolExecutor
 
 from repro.arch.config import HardwareConfig
 from repro.arch.gemmini import GemminiSpec
-from repro.eval.batch import evaluate_mappings_batched
+from repro.eval.batch import evaluate_mapping_spec_pairs, evaluate_mappings_batched
 from repro.mapping.mapping import Mapping
 from repro.timeloop.model import PerformanceResult, as_spec
 
@@ -31,6 +31,13 @@ def _evaluate_chunk(
 ) -> list[PerformanceResult]:
     """Worker entry point: vectorized evaluation of one contiguous chunk."""
     return evaluate_mappings_batched(mappings, spec, check_validity=check_validity)
+
+
+def _evaluate_pair_chunk(
+    pairs: list[tuple[Mapping, GemminiSpec]], check_validity: bool
+) -> list[PerformanceResult]:
+    """Worker entry point: vectorized evaluation of one mixed-spec chunk."""
+    return evaluate_mapping_spec_pairs(pairs, check_validity=check_validity)
 
 
 def _pool_context():
@@ -79,6 +86,30 @@ class ParallelEvaluator:
         chunks = [mappings[start:start + chunk_size]
                   for start in range(0, len(mappings), chunk_size)]
         futures = [executor.submit(_evaluate_chunk, chunk, spec, check_validity)
+                   for chunk in chunks]
+        results: list[PerformanceResult] = []
+        for future in futures:  # submission order == input order
+            results.extend(future.result())
+        return results
+
+    def evaluate_pairs(
+        self,
+        pairs: "list[tuple[Mapping, GemminiSpec | HardwareConfig]]",
+        check_validity: bool = True,
+    ) -> list[PerformanceResult]:
+        """Evaluate mixed-spec ``(mapping, spec)`` pairs concurrently, in order."""
+        if not pairs:
+            return []
+        resolved = [(mapping, as_spec(spec)) for mapping, spec in pairs]
+        chunk_size = max(self.min_chunk_size,
+                         -(-len(resolved) // self.n_workers))
+        if len(resolved) <= chunk_size or self.n_workers == 1:
+            return evaluate_mapping_spec_pairs(resolved,
+                                               check_validity=check_validity)
+        executor = self._ensure_executor()
+        chunks = [resolved[start:start + chunk_size]
+                  for start in range(0, len(resolved), chunk_size)]
+        futures = [executor.submit(_evaluate_pair_chunk, chunk, check_validity)
                    for chunk in chunks]
         results: list[PerformanceResult] = []
         for future in futures:  # submission order == input order

@@ -1,8 +1,13 @@
 """Shared helpers for the experiment harnesses.
 
-Search-based harnesses (Figures 7-9) go through :func:`run_search`, which
-resolves strategies via the unified registry so harness code never touches
-strategy-specific searcher or result classes.
+Search-based harnesses (Figures 7-9) drive their grids through the campaign
+layer: each harness declares its workload x strategy (x seed) grid as a
+:class:`~repro.campaign.spec.CampaignSpec` and runs it with
+:func:`~repro.campaign.scheduler.run_campaign` (an ephemeral store by
+default), so the figure pipeline, ``repro.cli campaign`` and ad-hoc sweeps
+all share one orchestration path.  One-off searches still go through
+:func:`run_search`, which resolves strategies via the unified registry so
+harness code never touches strategy-specific searcher or result classes.
 """
 
 from __future__ import annotations
@@ -11,11 +16,13 @@ import csv
 import os
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Sequence
+from typing import Any, Mapping, Sequence
 
+from repro.campaign import CampaignSpec, StrategyVariant, run_campaign
 from repro.eval.cache import EvaluationCache
 from repro.search.api import SearchBudget, SearchOutcome, optimize
 from repro.utils.formatting import format_table
+from repro.utils.rng import SeedLike
 
 #: The three co-search strategies compared in Figures 7-9.
 COSEARCH_STRATEGIES: tuple[str, ...] = ("dosa", "random", "bayesian")
@@ -43,27 +50,48 @@ def run_search(
                     **searcher_kwargs)
 
 
+def cosearch_campaign_spec(
+    name: str,
+    workloads: Sequence[str],
+    strategy_overrides: Mapping[str, Mapping[str, Any]],
+    seed: SeedLike = 0,
+    budget: SearchBudget | int | None = None,
+) -> CampaignSpec:
+    """Declare a harness grid: ``workloads`` x the given strategy variants.
+
+    ``strategy_overrides`` maps registry names to JSON-safe settings-kwargs
+    overrides (everything except the seed, which is the grid's seed axis);
+    the same :class:`SearchBudget` applies to every cell so best-so-far
+    traces are directly comparable.
+    """
+    return CampaignSpec(
+        name=name,
+        workloads=tuple(workloads),
+        strategies=tuple(StrategyVariant(strategy, settings=dict(overrides))
+                         for strategy, overrides in strategy_overrides.items()),
+        seeds=(seed,),
+        budgets=(SearchBudget.coerce(budget),),
+    )
+
+
 def run_strategies(
     workload: str,
-    strategy_settings: dict[str, Any],
+    strategy_overrides: Mapping[str, Mapping[str, Any]],
+    seed: SeedLike = 0,
     budget: SearchBudget | int | None = None,
     n_workers: int | None = None,
 ) -> dict[str, SearchOutcome]:
-    """Run several strategies on one workload with a shared budget.
+    """Run several strategies on one workload through the campaign layer.
 
-    ``strategy_settings`` maps registry names to settings objects (or ``None``
-    for each strategy's defaults); the same :class:`SearchBudget` applies to
-    every strategy so their traces are directly comparable.  ``n_workers``
-    is forwarded to every strategy's evaluation engine.  All strategies share
-    one :class:`EvaluationCache`: candidates revisited across strategies
-    (identical rounded mappings on identical hardware are common) are served
-    from memory instead of re-evaluated.
+    The grid runs through :func:`~repro.campaign.scheduler.run_campaign` with
+    an ephemeral store: jobs share one reference-model cache (in memory when
+    run inline, via the store's spill when ``n_workers`` shards them across
+    processes), and results are bit-identical either way.
     """
-    shared_cache = EvaluationCache()
-    return {strategy: run_search(workload, strategy, settings=settings,
-                                 budget=budget, n_workers=n_workers,
-                                 cache=shared_cache)
-            for strategy, settings in strategy_settings.items()}
+    spec = cosearch_campaign_spec(f"{workload}-strategies", (workload,),
+                                  strategy_overrides, seed=seed, budget=budget)
+    outcomes = run_campaign(spec, n_workers=n_workers).complete_outcomes()
+    return {job.variant.name: outcomes[job.job_id] for job in spec.jobs()}
 
 
 def default_output_dir() -> Path:

@@ -2,24 +2,25 @@
 
 For each target workload the three co-search strategies run through the
 unified search registry with a comparable sample budget, and the unified
-best-EDP-so-far traces are recorded.  The paper reports a geometric-mean
-improvement of 2.80x over random search and 12.59x over BB-BO after roughly
-10,000 samples, with BB-BO leading below ~1000 samples.
+best-EDP-so-far traces are recorded.  The whole grid — workloads x the three
+strategies — is declared as one :class:`~repro.campaign.spec.CampaignSpec`
+and executed through the campaign scheduler, the same path as
+``repro.cli campaign run``.  The paper reports a geometric-mean improvement
+of 2.80x over random search and 12.59x over BB-BO after roughly 10,000
+samples, with BB-BO leading below ~1000 samples.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.optimizer import DosaSettings
+from repro.campaign import CampaignSpec, run_campaign
 from repro.experiments.common import (
     COSEARCH_STRATEGIES,
     ExperimentOutput,
-    run_strategies,
+    cosearch_campaign_spec,
 )
 from repro.search.api import SearchBudget, SearchOutcome
-from repro.search.bayesian import BayesianSettings
-from repro.search.random_search import RandomSearchSettings
 from repro.utils.math_utils import geometric_mean
 from repro.utils.rng import SeedLike
 from repro.workloads.networks import TARGET_WORKLOAD_NAMES
@@ -72,18 +73,32 @@ class CoSearchResult:
         return self.bayesian_edp / self.dosa_edp
 
 
-def run_workload(
-    workload: str,
-    strategy_settings: dict[str, object],
+def campaign_spec(
+    workloads: tuple[str, ...] = TARGET_WORKLOAD_NAMES,
+    num_start_points: int = 7,
+    gd_steps: int = 1490,
+    rounding_period: int = 500,
+    random_hardware_designs: int = 10,
+    random_mappings_per_layer: int = 1000,
+    bo_training_hardware: int = 100,
+    bo_mappings_per_layer: int = 100,
+    bo_candidates: int = 1000,
     budget: SearchBudget | int | None = None,
-    n_workers: int | None = None,
-) -> CoSearchResult:
-    """Run the configured strategies on one workload and collect traces."""
-    return CoSearchResult(
-        workload=workload,
-        outcomes=run_strategies(workload, strategy_settings, budget=budget,
-                                n_workers=n_workers),
-    )
+    seed: SeedLike = 0,
+) -> CampaignSpec:
+    """The Figure 7 grid as a campaign spec (paper-scale defaults)."""
+    strategy_overrides = {
+        "dosa": {"num_start_points": num_start_points, "gd_steps": gd_steps,
+                 "rounding_period": rounding_period},
+        "random": {"num_hardware_designs": random_hardware_designs,
+                   "mappings_per_layer": random_mappings_per_layer},
+        "bayesian": {"num_training_hardware": bo_training_hardware,
+                     "mappings_per_layer": bo_mappings_per_layer,
+                     "num_candidates": bo_candidates},
+    }
+    assert tuple(strategy_overrides) == COSEARCH_STRATEGIES
+    return cosearch_campaign_spec("fig7_cosearch", workloads,
+                                  strategy_overrides, seed=seed, budget=budget)
 
 
 def run(
@@ -100,20 +115,27 @@ def run(
     seed: SeedLike = 0,
     n_workers: int | None = None,
 ) -> list[CoSearchResult]:
-    """Paper-scale defaults; pass smaller values (or a budget) for quick runs."""
-    strategy_settings = {
-        "dosa": DosaSettings(num_start_points=num_start_points, gd_steps=gd_steps,
-                             rounding_period=rounding_period, seed=seed),
-        "random": RandomSearchSettings(num_hardware_designs=random_hardware_designs,
-                                       mappings_per_layer=random_mappings_per_layer,
-                                       seed=seed),
-        "bayesian": BayesianSettings(num_training_hardware=bo_training_hardware,
-                                     mappings_per_layer=bo_mappings_per_layer,
-                                     num_candidates=bo_candidates, seed=seed),
-    }
-    assert tuple(strategy_settings) == COSEARCH_STRATEGIES
-    return [run_workload(workload, strategy_settings, budget=budget,
-                         n_workers=n_workers)
+    """Paper-scale defaults; pass smaller values (or a budget) for quick runs.
+
+    ``n_workers`` shards the campaign's independent jobs across processes
+    (results are identical; only wall-clock time changes).
+    """
+    spec = campaign_spec(
+        workloads=workloads, num_start_points=num_start_points,
+        gd_steps=gd_steps, rounding_period=rounding_period,
+        random_hardware_designs=random_hardware_designs,
+        random_mappings_per_layer=random_mappings_per_layer,
+        bo_training_hardware=bo_training_hardware,
+        bo_mappings_per_layer=bo_mappings_per_layer,
+        bo_candidates=bo_candidates, budget=budget, seed=seed)
+    result = run_campaign(spec, n_workers=n_workers)
+    job_outcomes = result.complete_outcomes()  # propagates interrupts cleanly
+    outcomes = {(job.workload, job.variant.name): job_outcomes[job.job_id]
+                for job in spec.jobs()}
+    return [CoSearchResult(
+                workload=workload,
+                outcomes={strategy: outcomes[(workload, strategy)]
+                          for strategy in COSEARCH_STRATEGIES})
             for workload in workloads]
 
 

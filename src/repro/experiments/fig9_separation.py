@@ -7,7 +7,12 @@ For each workload and each of several GD runs the experiment compares:
 * DOSA hardware with best-of-N random mappings,
 * DOSA hardware with DOSA mappings (the full result).
 
-All searches go through the unified registry: the GD run is the ``"dosa"``
+The GD grid — workloads x per-run seeds — is one
+:class:`~repro.campaign.spec.CampaignSpec` executed through the campaign
+scheduler (inline, so each outcome keeps its live ``extras["start_points"]``);
+the three dependent columns are derived per outcome afterwards, because the
+random-mapper column's hardware only exists once its DOSA run finishes.  All
+searches go through the unified registry: the GD run is the ``"dosa"``
 strategy and the random-mapper column is the ``"fixed_hw_random"`` strategy
 pinned to the DOSA hardware.
 
@@ -22,6 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.arch.gemmini import GemminiSpec
+from repro.campaign import CampaignSpec, StrategyVariant, run_campaign
 from repro.core.optimizer import DosaSettings
 from repro.eval.cache import EvaluationCache
 from repro.experiments.common import ExperimentOutput, run_search
@@ -44,18 +50,19 @@ class SeparationResult:
     dosa_edp: float
 
 
-def run_single(workload: str, settings: DosaSettings,
-               random_mappings_per_layer: int = 1000) -> SeparationResult:
-    """One GD run on ``workload`` with all four evaluation combinations.
+def _separation_columns(
+    workload: str,
+    outcome,
+    random_mappings_per_layer: int,
+    seed: SeedLike,
+    cache: EvaluationCache | None = None,
+) -> SeparationResult:
+    """Derive the three dependent columns from one finished DOSA outcome.
 
-    The DOSA run and the fixed-hardware random-mapper run share one
-    reference-model cache (the mapper re-visits rounded mappings the GD run
-    already scored on the same derived hardware).
+    These stay outside the campaign grid on purpose: the random-mapper run
+    is pinned to hardware that only exists after the DOSA job finished.
     """
     network = get_network(workload)
-    cache = EvaluationCache()
-    outcome = run_search(workload, "dosa", settings=settings, cache=cache)
-
     start = outcome.extras["start_points"][0]
     start_performance = evaluate_network_mappings(start.mappings, GemminiSpec(start.hardware))
 
@@ -66,7 +73,7 @@ def run_single(workload: str, settings: DosaSettings,
     random_outcome = run_search(
         workload, "fixed_hw_random",
         settings=FixedHardwareSettings(mappings_per_layer=random_mappings_per_layer,
-                                       seed=settings.seed),
+                                       seed=seed),
         hardware=dosa_hardware, cache=cache)
 
     return SeparationResult(
@@ -75,6 +82,47 @@ def run_single(workload: str, settings: DosaSettings,
         dosa_hw_cosa_mapping_edp=cosa_performance.edp,
         dosa_hw_random_mapping_edp=random_outcome.best_edp,
         dosa_edp=outcome.best_edp,
+    )
+
+
+def run_single(workload: str, settings: DosaSettings,
+               random_mappings_per_layer: int = 1000) -> SeparationResult:
+    """One GD run on ``workload`` with all four evaluation combinations.
+
+    The DOSA run and the fixed-hardware random-mapper run share one
+    reference-model cache (the mapper re-visits rounded mappings the GD run
+    already scored on the same derived hardware).
+    """
+    cache = EvaluationCache()
+    outcome = run_search(workload, "dosa", settings=settings, cache=cache)
+    return _separation_columns(workload, outcome, random_mappings_per_layer,
+                               seed=settings.seed, cache=cache)
+
+
+def run_seeds(seed: SeedLike, runs_per_workload: int) -> tuple[int, ...]:
+    """The per-run GD seeds (one independent seed per repeat of the grid)."""
+    return tuple((seed, run_index).__hash__() & 0xFFFFFFFF
+                 for run_index in range(runs_per_workload))
+
+
+def campaign_spec(
+    workloads: tuple[str, ...] = TARGET_WORKLOAD_NAMES,
+    runs_per_workload: int = 10,
+    num_start_points: int = 1,
+    gd_steps: int = 1490,
+    rounding_period: int = 500,
+    seed: SeedLike = 0,
+) -> CampaignSpec:
+    """The Figure 9 GD grid: workloads x ``runs_per_workload`` seeds."""
+    return CampaignSpec(
+        name="fig9_separation",
+        workloads=tuple(workloads),
+        strategies=(StrategyVariant(
+            "dosa",
+            settings={"num_start_points": num_start_points,
+                      "gd_steps": gd_steps,
+                      "rounding_period": rounding_period}),),
+        seeds=run_seeds(seed, runs_per_workload),
     )
 
 
@@ -87,18 +135,23 @@ def run(
     random_mappings_per_layer: int = 1000,
     seed: SeedLike = 0,
 ) -> list[SeparationResult]:
-    results: list[SeparationResult] = []
-    for workload in workloads:
-        for run_index in range(runs_per_workload):
-            settings = DosaSettings(
-                num_start_points=num_start_points,
-                gd_steps=gd_steps,
-                rounding_period=rounding_period,
-                seed=(seed, run_index).__hash__() & 0xFFFFFFFF,
-            )
-            results.append(run_single(workload, settings,
-                                      random_mappings_per_layer=random_mappings_per_layer))
-    return results
+    spec = campaign_spec(workloads=workloads,
+                         runs_per_workload=runs_per_workload,
+                         num_start_points=num_start_points, gd_steps=gd_steps,
+                         rounding_period=rounding_period, seed=seed)
+    # Inline on purpose: the post-processing needs each outcome's live
+    # extras["start_points"], which do not survive a worker-pool round trip.
+    # The shared cache carries the GD runs' reference evaluations into the
+    # dependent random-mapper searches (rounded mappings recur on the same
+    # derived hardware), exactly like the per-run sharing in run_single.
+    cache = EvaluationCache()
+    outcomes = run_campaign(spec, cache=cache).complete_outcomes()
+    return [
+        _separation_columns(job.workload, outcomes[job.job_id],
+                            random_mappings_per_layer, seed=job.seed,
+                            cache=cache)
+        for job in spec.jobs()
+    ]
 
 
 def summarize(results: list[SeparationResult]) -> dict[str, float]:

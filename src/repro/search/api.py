@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import numbers
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field, fields, is_dataclass
 from enum import Enum
 from typing import Any, Callable, Protocol, Sequence, runtime_checkable
@@ -199,6 +200,12 @@ class SearchOutcome:
     settings: dict[str, Any] = field(default_factory=dict)
     network: str = ""
     extras: dict[str, Any] = field(default_factory=dict)
+    #: True when the search was cut short by ``KeyboardInterrupt`` (Ctrl-C)
+    #: and this outcome carries the best design found *so far* rather than
+    #: the result of a completed run.  Interrupted outcomes round-trip
+    #: through the JSON serialization, and the campaign layer re-runs
+    #: interrupted jobs on resume instead of treating them as complete.
+    interrupted: bool = False
 
     @property
     def best_edp(self) -> float:
@@ -352,6 +359,7 @@ class SearchSession:
         self.candidates: list[CandidateDesign] = []
         self.best: CandidateDesign | None = None
         self.samples = 0
+        self.interrupted = False
         self._started = time.monotonic()
 
     # -- accounting ----------------------------------------------------- #
@@ -405,6 +413,23 @@ class SearchSession:
         if self.best is not None:
             self.trace.record(self.samples, self.best.edp)
 
+    # -- interruption ----------------------------------------------------- #
+    @contextmanager
+    def absorb_interrupt(self):
+        """Turn a ``KeyboardInterrupt`` inside the block into graceful stop.
+
+        Searchers wrap their main loop with this so Ctrl-C ends the search at
+        the current point instead of unwinding with a bare traceback;
+        :meth:`finish` then returns the best-so-far outcome flagged
+        ``interrupted=True`` (or re-raises the ``KeyboardInterrupt`` when
+        nothing feasible was found yet, so there is never a best-less
+        outcome).
+        """
+        try:
+            yield
+        except KeyboardInterrupt:
+            self.interrupted = True
+
     # -- completion ------------------------------------------------------ #
     def finish(self, extras: dict[str, Any] | None = None) -> SearchOutcome:
         """Seal the session into a :class:`SearchOutcome`.
@@ -412,9 +437,13 @@ class SearchSession:
         ``extras`` becomes :attr:`SearchOutcome.extras` (strategy-specific,
         unserialized artifacts — see the key inventory on
         :class:`SearchOutcome`).  Raises :class:`RuntimeError` if no feasible
-        design was ever offered, so callers never receive a best-less outcome.
-        """
+        design was ever offered, so callers never receive a best-less outcome
+        (an interrupted best-less session re-raises ``KeyboardInterrupt``
+        instead, preserving the interrupt for the caller)."""
         if self.best is None:
+            if self.interrupted:
+                raise KeyboardInterrupt(
+                    f"{self.method} search interrupted before any feasible design")
             raise RuntimeError(
                 f"{self.method} search produced no feasible design; "
                 "increase the budget or the searcher's settings")
@@ -429,6 +458,7 @@ class SearchSession:
             settings=settings_snapshot(self.settings),
             network=self.network_name,
             extras=extras or {},
+            interrupted=self.interrupted,
         )
 
 

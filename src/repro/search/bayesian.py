@@ -109,6 +109,13 @@ class BayesianSearcher:
         rng = make_rng(settings.seed)
         session = SearchSession("bayesian", budget=budget, callbacks=callbacks,
                                 settings=settings, network=self.network)
+        with session.absorb_interrupt():
+            self._run_phases(session, engine, rng)
+        return session.finish()
+
+    def _run_phases(self, session: SearchSession, engine: EvaluationEngine,
+                    rng) -> None:
+        settings = self.settings
 
         # ---- Phase 1: collect training data (counts as samples). --------- #
         features: list[np.ndarray] = []
@@ -156,7 +163,7 @@ class BayesianSearcher:
                 session.checkpoint()
 
         if not features or session.exhausted():
-            return session.finish()
+            return
 
         # ---- Phase 2: fit the GP surrogate. ------------------------------ #
         feature_matrix = np.asarray(features)
@@ -219,5 +226,3 @@ class BayesianSearcher:
                                                total_energy=total_energy,
                                                per_layer=tuple(per_layer)),
             ))
-
-        return session.finish()

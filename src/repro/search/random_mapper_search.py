@@ -80,7 +80,8 @@ class FixedHardwareMapperSearcher:
         per_layer = []
         total_latency = 0.0
         total_energy = 0.0
-        with EvaluationEngine(cache=self.cache, n_workers=self.n_workers) as engine:
+        with EvaluationEngine(cache=self.cache, n_workers=self.n_workers) as engine, \
+                session.absorb_interrupt():
             for layer in self.network.layers:
 
                 def generate(layer=layer):
@@ -102,13 +103,16 @@ class FixedHardwareMapperSearcher:
                 per_layer.append(best_result)
                 total_latency += best_result.latency_cycles * layer.repeats
                 total_energy += best_result.energy * layer.repeats
-        session.offer(CandidateDesign(
-            hardware=self.hardware,
-            mappings=chosen,
-            performance=NetworkPerformance(total_latency=total_latency,
-                                           total_energy=total_energy,
-                                           per_layer=tuple(per_layer)),
-        ))
+            # Inside the interrupt guard: a Ctrl-C mid-run leaves `chosen`
+            # partial, in which case no (complete) design is ever offered and
+            # finish() re-raises the KeyboardInterrupt.
+            session.offer(CandidateDesign(
+                hardware=self.hardware,
+                mappings=chosen,
+                performance=NetworkPerformance(total_latency=total_latency,
+                                               total_energy=total_energy,
+                                               per_layer=tuple(per_layer)),
+            ))
         return session.finish()
 
 

@@ -69,7 +69,8 @@ class RandomSearcher:
         session = SearchSession("random", budget=budget, callbacks=callbacks,
                                 settings=settings, network=self.network)
 
-        with EvaluationEngine(cache=self.cache, n_workers=self.n_workers) as engine:
+        with EvaluationEngine(cache=self.cache, n_workers=self.n_workers) as engine, \
+                session.absorb_interrupt():
             for _ in range(settings.num_hardware_designs):
                 if session.exhausted():
                     break

@@ -26,8 +26,22 @@ from typing import Any
 
 from repro.arch.config import HardwareConfig
 from repro.mapping.mapping import Mapping
-from repro.search.api import CandidateDesign, SearchOutcome, SearchTrace
+from repro.search.api import CandidateDesign, SearchBudget, SearchOutcome, SearchTrace
 from repro.timeloop.model import NetworkPerformance
+
+
+def budget_to_dict(budget: SearchBudget) -> dict[str, Any]:
+    """Serialize a :class:`SearchBudget` (used by campaign specs)."""
+    return {"max_samples": budget.max_samples, "max_seconds": budget.max_seconds}
+
+
+def budget_from_dict(payload: dict[str, Any]) -> SearchBudget:
+    max_samples = payload.get("max_samples")
+    max_seconds = payload.get("max_seconds")
+    return SearchBudget(
+        max_samples=None if max_samples is None else int(max_samples),
+        max_seconds=None if max_seconds is None else float(max_seconds),
+    )
 
 
 def hardware_to_dict(config: HardwareConfig) -> dict[str, int]:
@@ -89,6 +103,7 @@ def outcome_to_dict(outcome: SearchOutcome) -> dict[str, Any]:
         "seed": outcome.seed,
         "settings": outcome.settings,
         "wall_time_seconds": outcome.wall_time_seconds,
+        "interrupted": outcome.interrupted,
         "num_candidates": len(outcome.candidates),
         "best": {
             "hardware": hardware_to_dict(best.hardware),
@@ -127,6 +142,7 @@ def outcome_from_dict(payload: dict[str, Any]) -> SearchOutcome:
         seed=payload.get("seed"),
         settings=dict(payload.get("settings", {})),
         network=payload.get("network", ""),
+        interrupted=bool(payload.get("interrupted", False)),
     )
 
 
