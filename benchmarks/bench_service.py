@@ -1,0 +1,193 @@
+"""Service load test: many concurrent clients against one job daemon.
+
+Starts an in-process search-service daemon (the same :func:`create_server` /
+:class:`SearchService` stack ``repro.cli serve`` runs), then fires N client
+threads at it concurrently.  Each client submits one seeded search job,
+follows it to completion (every fourth client over the SSE stream, the rest
+by polling) and fetches the result.  The harness then:
+
+* verifies **zero failures** across all clients,
+* re-runs every job's search offline through :func:`repro.optimize` and
+  verifies the served results are **byte-identical** (canonical outcome
+  JSON, wall-clock stripped) — the service must be a transport, never a
+  perturbation,
+* reports the submit→done latency distribution (p50 / p99) and job
+  throughput.
+
+CI smoke (enforces the bars, records the baseline)::
+
+    PYTHONPATH=src python benchmarks/bench_service.py --quick \\
+        --record benchmarks/BENCH_service.json
+
+A larger load: ``--clients 64 --budget 200 --n-workers 8``.
+"""
+
+import argparse
+import json
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+import repro
+from repro.service import (
+    Client,
+    SearchService,
+    ServiceConfig,
+    create_server,
+    write_endpoint_file,
+)
+from repro.service.metrics import percentile
+from repro.utils.serialization import canonical_outcome_json
+
+NETWORK = "bert"
+STRATEGY = "random"
+MIN_CLIENTS = 16  # the acceptance floor for the concurrency bar
+
+
+def run_load(clients: int, budget: int, n_workers: int,
+             record: str | None = None) -> int:
+    if clients < MIN_CLIENTS:
+        print(f"FAIL: --clients {clients} is below the {MIN_CLIENTS}-client "
+              "concurrency bar")
+        return 1
+    root = Path(tempfile.mkdtemp(prefix="bench-service-"))
+    config = ServiceConfig(root=root, n_workers=n_workers,
+                           queue_limit=max(64, clients), step_period=25)
+    service = SearchService(config)
+    service.start()
+    server = create_server(service)
+    write_endpoint_file(service, server)
+    server_thread = threading.Thread(target=server.serve_forever, daemon=True)
+    server_thread.start()
+
+    results: dict[int, dict] = {}
+    failures: list[str] = []
+    lock = threading.Lock()
+
+    def one_client(seed: int) -> None:
+        try:
+            client = Client.from_root(root, timeout=600.0)
+            t0 = time.perf_counter()
+            job = client.submit_search(NETWORK, strategy=STRATEGY, seed=seed,
+                                       budget=budget,
+                                       tenant=f"tenant-{seed % 4}")
+            job_id = job["job_id"]
+            if seed % 4 == 0:
+                # Every fourth client follows the SSE stream to completion
+                # (exercises the event path under load); the rest poll.
+                terminal = None
+                for name, _ in client.events(job_id):
+                    if name in ("done", "failed", "interrupted"):
+                        terminal = name
+                if terminal != "done":
+                    raise RuntimeError(f"stream ended with {terminal!r}")
+            client.wait(job_id, timeout=600.0, poll=0.05)
+            latency = time.perf_counter() - t0
+            served = client.result_bytes(job_id, deterministic=True)
+            with lock:
+                results[seed] = {"job_id": job_id, "latency": latency,
+                                 "served": served}
+        except Exception as error:  # noqa: BLE001 - recorded as a failure
+            with lock:
+                failures.append(f"seed={seed}: {error!r}")
+
+    print(f"service load: {clients} concurrent clients x "
+          f"{STRATEGY}@{NETWORK} budget={budget}, {n_workers} workers")
+    wall_start = time.perf_counter()
+    threads = [threading.Thread(target=one_client, args=(seed,))
+               for seed in range(clients)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall_seconds = time.perf_counter() - wall_start
+
+    metrics = Client.from_root(root).metrics()
+    service.drain()
+    server.shutdown()
+    server.server_close()
+
+    if failures:
+        print(f"FAIL: {len(failures)}/{clients} clients failed:")
+        for line in failures[:10]:
+            print(f"  {line}")
+        return 1
+
+    latencies = [entry["latency"] for entry in results.values()]
+    p50 = percentile(latencies, 50.0)
+    p99 = percentile(latencies, 99.0)
+    throughput = clients / wall_seconds
+    print(f"all {clients} clients completed in {wall_seconds:.2f}s "
+          f"({throughput:.1f} jobs/s)")
+    print(f"submit->done latency: p50 {p50:.3f}s | p99 {p99:.3f}s "
+          f"| max {max(latencies):.3f}s")
+    print(f"cache hit rate across tenants: "
+          f"{metrics['cache']['hit_rate']:.3f}")
+
+    # Byte-identity: every served result must equal the offline canonical
+    # form of the same seeded search.
+    mismatched = []
+    for seed, entry in sorted(results.items()):
+        offline = repro.optimize(NETWORK, strategy=STRATEGY, seed=seed,
+                                 budget=budget)
+        if entry["served"] != canonical_outcome_json(offline).encode():
+            mismatched.append(seed)
+    if mismatched:
+        print(f"FAIL: served results diverge from offline runs for seeds "
+              f"{mismatched}")
+        return 1
+    print(f"OK: {clients} served results byte-identical to offline "
+          f"repro.optimize() runs")
+
+    if record:
+        payload = {
+            "benchmark": "service_load",
+            "network": NETWORK,
+            "strategy": STRATEGY,
+            "clients": clients,
+            "budget_samples": budget,
+            "n_workers": n_workers,
+            "failures": 0,
+            "byte_identical_results": clients,
+            "wall_seconds": round(wall_seconds, 3),
+            "jobs_per_second": round(throughput, 2),
+            "latency_p50_seconds": round(p50, 4),
+            "latency_p99_seconds": round(p99, 4),
+            "cache_hit_rate": round(metrics["cache"]["hit_rate"], 4),
+            "command": ("PYTHONPATH=src python benchmarks/bench_service.py "
+                        "--quick --record benchmarks/BENCH_service.json"),
+        }
+        with open(record, "w") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        print(f"recorded baseline -> {record}")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help=f"CI smoke: {MIN_CLIENTS} clients with a small "
+                             "budget (bars: zero failures, byte-identity)")
+    parser.add_argument("--clients", type=int, default=None,
+                        help=f"concurrent clients (default: 32, or "
+                             f"{MIN_CLIENTS} with --quick)")
+    parser.add_argument("--budget", type=int, default=None,
+                        help="max_samples per search job (default: 200, or "
+                             "60 with --quick)")
+    parser.add_argument("--n-workers", type=int, default=4,
+                        help="daemon fork-pool size (default: 4)")
+    parser.add_argument("--record", default=None, metavar="PATH",
+                        help="write the measurements to PATH as a JSON "
+                             "baseline")
+    args = parser.parse_args(argv)
+    clients = args.clients or (MIN_CLIENTS if args.quick else 32)
+    budget = args.budget or (60 if args.quick else 200)
+    return run_load(clients=clients, budget=budget, n_workers=args.n_workers,
+                    record=args.record)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,6 +18,9 @@ The package is organized bottom-up:
   workload x strategy x seed x budget grids, a persistent JSONL result store
   that doubles as a cross-process evaluation-cache spill, and deterministic
   aggregate reports),
+* :mod:`repro.service` — search-as-a-service: a job daemon serving searches
+  and campaigns to many concurrent HTTP clients (bounded queue, SSE progress
+  streams, per-tenant stores over one shared cache spill, graceful drain),
 * :mod:`repro.surrogate` — the synthetic Gemmini-RTL simulator and learned latency models,
 * :mod:`repro.experiments` — one harness per paper table/figure.
 
@@ -65,10 +68,12 @@ from repro.search.api import (
     optimize,
     register_searcher,
 )
+from repro.service import Client as ServiceClient
+from repro.service import SearchService, ServiceConfig
 from repro.timeloop import evaluate_mapping, evaluate_network_mappings
 from repro.workloads import LayerDims, conv2d_layer, get_network, matmul_layer
 
-__version__ = "2.1.0"
+__version__ = "2.2.0"
 
 __all__ = [
     "GemminiSpec",
@@ -93,6 +98,9 @@ __all__ = [
     "get_searcher",
     "optimize",
     "register_searcher",
+    "SearchService",
+    "ServiceClient",
+    "ServiceConfig",
     "evaluate_mapping",
     "evaluate_network_mappings",
     "LayerDims",

@@ -27,6 +27,7 @@ each job would only oversubscribe the machine.
 from __future__ import annotations
 
 import multiprocessing
+import os
 import tempfile
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
@@ -36,9 +37,12 @@ from typing import Any, Callable
 from repro.campaign.spec import CampaignSpec, JobSpec
 from repro.campaign.store import ResultStore, segment_name_for
 from repro.eval.cache import EvaluationCache
-from repro.search.api import SearchOutcome, get_searcher
+from repro.search.api import SearchCallback, SearchOutcome, get_searcher
+from repro.utils.log import get_logger
 from repro.utils.serialization import outcome_from_dict, outcome_to_dict
 from repro.workloads.networks import get_network
+
+log = get_logger("campaign.scheduler")
 
 #: Called after each persisted job: (job, outcome).  May raise
 #: KeyboardInterrupt to stop the campaign gracefully (the CLI uses it for
@@ -68,47 +72,123 @@ def execute_job(job: JobSpec, cache: EvaluationCache | None = None,
     return searcher.search(budget=job.budget, callbacks=callbacks)
 
 
-#: Per-worker-process spill state, keyed by store directory: the shared
+#: Per-worker-process spill state, keyed by *cache directory*: the shared
 #: in-memory cache and the spill segment names already folded into it.  Pool
 #: workers are long-lived (one process runs many jobs), so each segment is
-#: parsed once per worker instead of once per job.
+#: parsed once per worker instead of once per job — and stores pointed at one
+#: shared ``cache_dir`` (the search service's tenants) share one in-worker
+#: cache.
 _WORKER_SPILL: dict[str, tuple[EvaluationCache, set[str]]] = {}
+
+#: ``(progress_queue, stop_event)`` installed into pool workers by
+#: :func:`install_worker_channel` (via the executor's ``initializer``).
+#: ``None`` in plain campaign runs: progress streaming and cooperative stops
+#: are service features, workers without a channel behave exactly as before.
+_WORKER_CHANNEL: tuple | None = None
+
+
+def install_worker_channel(queue, stop_event) -> None:
+    """Executor initializer: give this worker a progress/stop channel.
+
+    ``queue`` is a ``multiprocessing`` queue the worker pushes
+    ``(event, tag, payload)`` tuples into; ``stop_event`` is a shared event
+    that, once set, makes every in-flight search raise ``KeyboardInterrupt``
+    at its next step — which the searchers' ``absorb_interrupt`` turns into a
+    graceful best-so-far outcome (the SIGTERM drain path of the service
+    daemon, without ever signalling worker processes).
+    """
+    global _WORKER_CHANNEL
+    _WORKER_CHANNEL = (queue, stop_event)
+
+
+@dataclass(frozen=True)
+class PoolProgress:
+    """How a pool job should stream progress (picklable, service-provided).
+
+    ``tag`` identifies the submitting service job in the event stream;
+    ``step_period`` rate-limits ``on_step`` events (every N samples; the
+    first sample and every ``on_best`` always stream).
+    """
+
+    tag: str
+    step_period: int = 25
+
+
+class _ChannelProgressCallback(SearchCallback):
+    """Streams search progress over the worker channel; honors the stop event."""
+
+    def __init__(self, progress: PoolProgress, queue, stop_event) -> None:
+        self.progress = progress
+        self.queue = queue
+        self.stop_event = stop_event
+
+    def _put(self, event: str, payload: dict) -> None:
+        try:
+            self.queue.put((event, self.progress.tag, payload))
+        except (OSError, ValueError):  # pragma: no cover - parent went away
+            pass
+
+    def on_step(self, samples: int) -> None:
+        if self.stop_event is not None and self.stop_event.is_set():
+            raise KeyboardInterrupt("service drain requested")
+        if samples == 1 or samples % max(1, self.progress.step_period) == 0:
+            self._put("step", {"samples": samples})
+
+    def on_best(self, candidate, samples: int) -> None:
+        self._put("best", {"samples": samples, "edp": candidate.edp,
+                           "hardware": candidate.hardware.describe()})
 
 
 def _worker_spill_state(store: ResultStore) -> tuple[EvaluationCache, set[str]]:
-    state = _WORKER_SPILL.get(str(store.directory))
+    state = _WORKER_SPILL.get(str(store.cache_dir))
     if state is None:
         state = (EvaluationCache(), set())
-        _WORKER_SPILL[str(store.directory)] = state
+        _WORKER_SPILL[str(store.cache_dir)] = state
     cache, seen = state
     seen.update(store.load_cache_segments(cache, skip=seen))
     return cache, seen
 
 
 def _pool_run_job(spec_payload: dict, job_id: str, store_dir: str,
-                  persist_cache: bool) -> dict[str, Any]:
+                  persist_cache: bool, cache_dir: str | None = None,
+                  progress: PoolProgress | None = None) -> dict[str, Any]:
     """Worker entry point: run one job against the store's cache spill.
 
     Workers never touch ``results.jsonl`` (the parent is the single writer —
     ``writer=False`` also skips the crash-tail repair, which would race the
     parent's appends); they only read the spill and write their own atomic
-    cache segment.
+    cache segment.  With a worker channel installed and a ``progress`` spec,
+    the search additionally streams step/best events and obeys the
+    cooperative stop event (see :func:`install_worker_channel`).
     """
     spec = CampaignSpec.from_dict(spec_payload)
     job = spec.job_named(job_id)
-    store = ResultStore(store_dir, writer=False)
+    store = ResultStore(store_dir, writer=False, cache_dir=cache_dir)
     if persist_cache:
         cache, seen = _worker_spill_state(store)
     else:
         cache, seen = EvaluationCache(), set()
+    callbacks = None
+    channel = _WORKER_CHANNEL if progress is not None else None
+    if channel is not None:
+        queue, stop_event = channel
+        queue.put(("job", progress.tag,
+                   {"campaign_job": job_id, "pid": os.getpid()}))
+        callbacks = _ChannelProgressCallback(progress, queue, stop_event)
     preloaded = len(cache)
+    hits, misses = cache.stats.hits, cache.stats.misses
     try:
-        outcome = execute_job(job, cache=cache)
+        outcome = execute_job(job, cache=cache, callbacks=callbacks)
     finally:
         if persist_cache:
             segment = segment_name_for(job_id)
             store.append_cache_segment(segment, cache.items(start=preloaded))
             seen.add(segment)  # our own entries are already in memory
+        if channel is not None:
+            queue.put(("stats", progress.tag,
+                       {"campaign_job": job_id,
+                        "hits": cache.stats.hits - hits,
+                        "misses": cache.stats.misses - misses}))
     return {"job_id": job_id, "outcome": outcome_to_dict(outcome)}
 
 
@@ -191,6 +271,8 @@ class CampaignScheduler:
         n_workers: int | None = None,
         persist_cache: bool = True,
         cache: EvaluationCache | None = None,
+        executor: ProcessPoolExecutor | None = None,
+        progress: PoolProgress | None = None,
     ) -> None:
         if n_workers is not None and n_workers < 1:
             raise ValueError(f"n_workers must be >= 1 or None, got {n_workers}")
@@ -202,6 +284,15 @@ class CampaignScheduler:
         #: fig9 harness shares it with its dependent post-campaign searches).
         #: Worker-pool jobs keep their own per-process caches instead.
         self.cache = cache
+        #: Optional externally-owned fork pool.  The search service shares
+        #: one pool across many concurrent schedulers (one per service job);
+        #: when set, jobs always run through it — even a single-job grid —
+        #: and the scheduler never shuts it down.
+        self.executor = executor
+        #: Optional progress-streaming spec forwarded to pool workers (only
+        #: effective when the pool was created with ``install_worker_channel``
+        #: as its initializer).
+        self.progress = progress
 
     # ------------------------------------------------------------------ #
     def status(self) -> CampaignStatus:
@@ -248,8 +339,11 @@ class CampaignScheduler:
         """Run (up to ``max_jobs``) pending jobs of this shard and persist them."""
         selected, skipped = self._select_jobs(max_jobs, shard_index, shard_count)
         run = CampaignRun(campaign=self.spec.name, skipped=skipped)
+        log.debug("campaign %s: running %d jobs (%d already complete)",
+                  self.spec.name, len(selected), len(skipped))
         if selected:
-            if self.n_workers is not None and self.n_workers > 1:
+            if self.executor is not None or (
+                    self.n_workers is not None and self.n_workers > 1):
                 self._run_pool(selected, run, on_job_done)
             else:
                 self._run_inline(selected, run, on_job_done)
@@ -270,14 +364,27 @@ class CampaignScheduler:
 
     # ------------------------------------------------------------------ #
     def _persist(self, run: CampaignRun, job: JobSpec,
-                 outcome: SearchOutcome) -> None:
-        self.store.append(job.job_id, outcome_to_dict(outcome))
+                 outcome: SearchOutcome,
+                 payload: dict[str, Any] | None = None) -> None:
+        # Pool runs hand back the worker's serialized payload; persist those
+        # bytes as-is rather than re-serializing the JSON-round-tripped
+        # outcome object, which would lose fields the round trip drops
+        # (``num_candidates``) and break byte-identity with inline runs.
+        self.store.append(job.job_id,
+                          outcome_to_dict(outcome) if payload is None
+                          else payload)
         run.outcomes[job.job_id] = outcome
         if outcome.interrupted:
             run.interrupted.append(job.job_id)
             run.stopped = True
+            log.info("campaign %s: %s interrupted (best-so-far EDP %.4e "
+                     "persisted; re-runs on resume)", self.spec.name,
+                     job.job_id, outcome.best_edp)
         else:
             run.ran.append(job.job_id)
+            log.info("campaign %s: %s done (best EDP %.4e after %d samples)",
+                     self.spec.name, job.job_id, outcome.best_edp,
+                     outcome.total_samples)
 
     def _run_inline(self, jobs: list[JobSpec], run: CampaignRun,
                     on_job_done: JobCallback | None) -> None:
@@ -312,15 +419,21 @@ class CampaignScheduler:
                   on_job_done: JobCallback | None) -> None:
         spec_payload = self.spec.to_dict()
         store_dir = str(self.store.directory)
+        cache_dir = str(self.store.cache_dir)
+        executor = self.executor
+        owns_executor = executor is None
+        if owns_executor:
+            try:
+                context = multiprocessing.get_context("fork")
+            except ValueError:  # pragma: no cover - non-POSIX platforms
+                context = multiprocessing.get_context()
+            executor = ProcessPoolExecutor(max_workers=self.n_workers,
+                                           mp_context=context)
         try:
-            context = multiprocessing.get_context("fork")
-        except ValueError:  # pragma: no cover - non-POSIX platforms
-            context = multiprocessing.get_context()
-        with ProcessPoolExecutor(max_workers=self.n_workers,
-                                 mp_context=context) as executor:
             futures = {
                 executor.submit(_pool_run_job, spec_payload, job.job_id,
-                                store_dir, self.persist_cache): job
+                                store_dir, self.persist_cache, cache_dir,
+                                self.progress): job
                 for job in jobs
             }
             outstanding = set(futures)
@@ -344,9 +457,11 @@ class CampaignScheduler:
                         # A deterministic job failure must not discard the
                         # other workers' results: record it, keep draining.
                         run.failed.append((job.job_id, repr(error)))
+                        log.warning("campaign %s: %s failed: %r",
+                                    self.spec.name, job.job_id, error)
                         continue
                     outcome = outcome_from_dict(payload["outcome"])
-                    self._persist(run, job, outcome)
+                    self._persist(run, job, outcome, payload["outcome"])
                     if on_job_done is not None:
                         on_job_done(job, outcome)
             except KeyboardInterrupt:
@@ -374,9 +489,13 @@ class CampaignScheduler:
                             except BaseException:  # noqa: BLE001 - drain
                                 continue
                             self._persist(run, job,
-                                          outcome_from_dict(payload["outcome"]))
+                                          outcome_from_dict(payload["outcome"]),
+                                          payload["outcome"])
                 except KeyboardInterrupt:
                     pass
+        finally:
+            if owns_executor:
+                executor.shutdown(wait=True)
 
 
 def run_campaign(

@@ -35,19 +35,27 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Iterable, Mapping
+from typing import Any, Iterable, Mapping, Sequence
 
 from repro.arch.config import HardwareConfig
 from repro.campaign.spec import CampaignSpec
 from repro.eval.cache import CacheKey, EvaluationCache
 from repro.timeloop.model import PerformanceResult
+from repro.utils.atomic import write_atomic
+from repro.utils.log import get_logger
 
 STORE_VERSION = 1
 
 MANIFEST_NAME = "manifest.json"
 RESULTS_NAME = "results.jsonl"
 CACHE_DIR_NAME = "cache"
+
+#: The single segment a spill compaction folds every other segment into.
+COMPACTED_SEGMENT = "segment-compacted.jsonl"
+
+log = get_logger("campaign.store")
 
 
 class StoreCorruptionError(ValueError):
@@ -135,15 +143,35 @@ class ResultStore:
     crash-tail repair is skipped — repairing would race the parent's
     concurrent appends — and :meth:`append` is forbidden.  Cache spill
     segments may still be written; each job owns its own segment file.
+
+    ``create=False`` opens an *existing* store only: a missing directory or
+    manifest raises a clean :class:`ValueError` instead of creating the
+    directory as a side effect (the CLI's read-only ``status``/``report``
+    paths use this).
+
+    ``cache_dir`` relocates the evaluation-cache spill.  By default each
+    store spills under its own ``<dir>/cache/``; the search service points
+    every tenant store at one shared directory so all jobs — across tenants
+    and daemon restarts — warm each other's caches.  Entries are exact
+    bit-identical reference-model results, so sharing never changes
+    outcomes.
     """
 
     def __init__(self, directory: str | Path,
                  spec: CampaignSpec | None = None,
-                 writer: bool = True) -> None:
+                 writer: bool = True,
+                 cache_dir: str | Path | None = None,
+                 create: bool = True) -> None:
         self.writer = writer
         self.directory = Path(directory)
-        self.directory.mkdir(parents=True, exist_ok=True)
         manifest_path = self.directory / MANIFEST_NAME
+        if not create and not manifest_path.exists():
+            raise ValueError(f"no campaign store at {self.directory} "
+                             f"(missing {MANIFEST_NAME})")
+        self.directory.mkdir(parents=True, exist_ok=True)
+        #: Where this store spills (and preloads) evaluation-cache segments.
+        self.cache_dir = (Path(cache_dir) if cache_dir is not None
+                          else self.directory / CACHE_DIR_NAME)
         if manifest_path.exists():
             manifest = json.loads(manifest_path.read_text())
             self.spec = CampaignSpec.from_dict(manifest["spec"])
@@ -170,23 +198,9 @@ class ResultStore:
     def results_path(self) -> Path:
         return self.directory / RESULTS_NAME
 
-    @property
-    def cache_dir(self) -> Path:
-        return self.directory / CACHE_DIR_NAME
-
     def _write_atomic(self, path: Path, text: str) -> None:
         """Complete-or-absent file write: temp + fsync + rename + dir fsync."""
-        temp = path.with_name(path.name + ".tmp")
-        with open(temp, "w") as handle:
-            handle.write(text)
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(temp, path)
-        directory_fd = os.open(path.parent, os.O_RDONLY)
-        try:
-            os.fsync(directory_fd)
-        finally:
-            os.close(directory_fd)
+        write_atomic(path, text)
 
     # ------------------------------------------------------------------ #
     # Result records
@@ -221,6 +235,9 @@ class ResultStore:
             else:
                 handle.truncate(len(complete) + 1 if complete else 0)
                 self.dropped_truncated_tail = True
+                log.warning("%s: dropped a crash-truncated tail record "
+                            "(the interrupted job re-runs on resume)",
+                            path)
             handle.flush()
             os.fsync(handle.fileno())
 
@@ -351,3 +368,192 @@ class ResultStore:
             return 0
         return sum(len(segment.read_text().splitlines())
                    for segment in sorted(self.cache_dir.glob("*.jsonl")))
+
+    def compact_spill(self) -> "CompactionStats":
+        """Fold this store's spill segments into one (see :func:`compact_cache_dir`)."""
+        return compact_cache_dir(self.cache_dir)
+
+    # ------------------------------------------------------------------ #
+    # Shard merging
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def merge(cls, destination: str | Path,
+              sources: Sequence[str | Path]) -> tuple["ResultStore", "MergeStats"]:
+        """Merge independent shard stores of *one* campaign into ``destination``.
+
+        Every source must carry the same spec (shards of one grid); a spec
+        mismatch raises.  Duplicate job ids — jobs run by more than one shard
+        (or already present in the destination) — are resolved
+        deterministically and independently of the order sources are listed:
+
+        1. completed outcomes beat interrupted best-so-far outcomes,
+        2. ties break on the lexicographically-smallest canonical JSON
+           serialization of the outcome payload.
+
+        Seeded campaign jobs are bit-reproducible, so duplicate *completed*
+        payloads differ at most in ``wall_time_seconds``; whichever wins, the
+        deterministic report fields are identical.  Records are appended in
+        spec grid order, so merging shards of a deterministic campaign yields
+        the same report byte-for-byte as one uninterrupted run.
+
+        Cache spill segments are unioned line-by-line (sources in sorted
+        path order); entries are bit-identical accelerator data, so the union
+        only affects future wall-clock time, never results.
+        """
+        if not sources:
+            raise ValueError("merge needs at least one source store")
+        opened = [cls(path, writer=False, create=False) for path in sources]
+        spec = opened[0].spec
+        for source in opened[1:]:
+            if source.spec.to_dict() != spec.to_dict():
+                raise ValueError(
+                    f"cannot merge {source.directory}: its campaign spec "
+                    f"({source.spec.name!r}) differs from {opened[0].directory} "
+                    f"({spec.name!r}); shards of one campaign share one spec")
+        store = cls(destination, spec=spec)
+
+        def canonical(payload: Mapping[str, Any]) -> str:
+            return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+        def rank(payload: Mapping[str, Any]) -> tuple:
+            # Completed (False) sorts before interrupted (True).
+            return (bool(payload.get("interrupted", False)), canonical(payload))
+
+        candidates: dict[str, list[dict[str, Any]]] = {}
+        for source in opened:
+            for job_id, payload in source.latest_outcomes().items():
+                candidates.setdefault(job_id, []).append(payload)
+        duplicate_ids = sum(1 for payloads in candidates.values()
+                            if len(payloads) > 1)
+        existing = store.latest_outcomes()
+        jobs_written = 0
+        for job in spec.jobs():
+            payloads = list(candidates.get(job.job_id, ()))
+            current = existing.get(job.job_id)
+            if current is not None:
+                payloads.append(current)
+            if not payloads:
+                continue
+            winner = min(payloads, key=rank)
+            if current is not None and canonical(current) == canonical(winner):
+                continue  # destination already holds the winning record
+            store.append(job.job_id, winner)
+            jobs_written += 1
+
+        segments_merged = lines_merged = 0
+        for source in sorted(opened, key=lambda s: str(s.directory.resolve())):
+            if not source.cache_dir.is_dir() \
+                    or source.cache_dir == store.cache_dir:
+                continue
+            for segment in sorted(source.cache_dir.glob("*.jsonl")):
+                incoming = [line for line in segment.read_text().splitlines()
+                            if line.strip()]
+                if not incoming:
+                    continue
+                target = store.cache_dir / segment.name
+                if target.exists():
+                    kept = [line for line in target.read_text().splitlines()
+                            if line.strip()]
+                    merged = list(dict.fromkeys([*kept, *incoming]))
+                    if merged == kept:
+                        continue
+                    added = len(merged) - len(kept)
+                else:
+                    store.cache_dir.mkdir(parents=True, exist_ok=True)
+                    merged = list(dict.fromkeys(incoming))
+                    added = len(merged)
+                write_atomic(target, "\n".join(merged) + "\n")
+                segments_merged += 1
+                lines_merged += added
+        stats = MergeStats(sources=len(opened), jobs_written=jobs_written,
+                           duplicate_ids=duplicate_ids,
+                           segments_merged=segments_merged,
+                           cache_lines_merged=lines_merged)
+        log.info("merged %d shard stores into %s: %s",
+                 len(opened), store.directory, stats)
+        return store, stats
+
+
+@dataclass
+class MergeStats:
+    """What one :meth:`ResultStore.merge` call did."""
+
+    sources: int
+    jobs_written: int
+    duplicate_ids: int
+    segments_merged: int
+    cache_lines_merged: int
+
+    def __str__(self) -> str:
+        return (f"{self.jobs_written} records written "
+                f"({self.duplicate_ids} duplicate job ids resolved), "
+                f"{self.segments_merged} cache segments merged "
+                f"(+{self.cache_lines_merged} entries)")
+
+
+@dataclass
+class CompactionStats:
+    """What one spill compaction did."""
+
+    segments_before: int
+    lines_before: int
+    entries_after: int
+
+    @property
+    def removed_lines(self) -> int:
+        return self.lines_before - self.entries_after
+
+    def __str__(self) -> str:
+        return (f"{self.segments_before} segments / {self.lines_before} lines "
+                f"-> 1 segment / {self.entries_after} entries")
+
+
+def compact_cache_dir(cache_dir: str | Path) -> CompactionStats:
+    """Fold every spill segment in ``cache_dir`` into one deduplicated segment.
+
+    Long-lived spills (multi-day servers, many-job campaigns) accumulate one
+    segment per job, many holding entries later segments repeat.  Compaction
+    rewrites the union as a single :data:`COMPACTED_SEGMENT` keeping the
+    *first* line stored for each exact cache key — entry lines for the same
+    key are bit-identical by construction, so a reload of the compacted spill
+    is bit-identical to a reload of the original segments.
+
+    Crash-safe and concurrent-writer-safe: the compacted segment is written
+    atomically *before* the snapshot of old segments is deleted (a crash in
+    between merely leaves redundant entries), and segments appearing after
+    the snapshot (e.g. a live worker's spill) are left untouched.
+    Undecodable lines are dropped — the spill is purely an accelerator.
+    """
+    cache_dir = Path(cache_dir)
+    if not cache_dir.is_dir():
+        return CompactionStats(0, 0, 0)
+    snapshot = sorted(cache_dir.glob("*.jsonl"))
+    lines_before = 0
+    winners: dict[CacheKey, str] = {}
+    for segment in snapshot:
+        for line in segment.read_text().splitlines():
+            if not line.strip():
+                continue
+            lines_before += 1
+            try:
+                key, _ = cache_entry_from_dict(json.loads(line))
+            except (ValueError, KeyError, TypeError):
+                continue
+            winners.setdefault(key, line)
+    stats = CompactionStats(segments_before=len(snapshot),
+                            lines_before=lines_before,
+                            entries_after=len(winners))
+    if not snapshot:
+        return stats
+    if winners:
+        write_atomic(cache_dir / COMPACTED_SEGMENT,
+                     "\n".join(winners.values()) + "\n")
+    for segment in snapshot:
+        if segment.name == COMPACTED_SEGMENT and winners:
+            continue
+        try:
+            segment.unlink()
+        except FileNotFoundError:  # pragma: no cover - concurrent compaction
+            pass
+    log.info("compacted spill %s: %s", cache_dir, stats)
+    return stats

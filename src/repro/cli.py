@@ -39,7 +39,22 @@ Experiment campaigns (grids of searches with a persistent store)::
 interrupt it at any point and re-run the same command to resume.
 ``--n-workers`` shards jobs across processes; ``--shard I/N`` runs a
 deterministic 1/N slice of the grid (for splitting one campaign across
-machines); ``--max-jobs K`` stops after K jobs.
+machines); ``--max-jobs K`` stops after K jobs.  ``campaign merge`` folds
+several shard stores of the same spec into one; ``campaign compact``
+rewrites a store's cache spill as a single deduplicated segment.
+
+Search-as-a-service (see ``docs/service.md``)::
+
+    python -m repro.cli serve --root service/ --n-workers 4
+
+runs the job daemon: clients submit searches and campaigns over HTTP/JSON,
+stream progress as server-sent events, and fetch results that are
+byte-identical to offline runs with the same seeds.  SIGTERM drains
+gracefully (in-flight best-so-far results are persisted; a restarted daemon
+resumes incomplete jobs).
+
+``--log-level debug|info|warning|error`` (before or after the subcommand)
+turns on structured stderr logging for any command.
 """
 
 from __future__ import annotations
@@ -224,47 +239,97 @@ def _run_campaign_command(args: argparse.Namespace) -> int:
             return 130
         return 1 if run.failed else 0
 
+    if args.campaign_command == "merge":
+        try:
+            _, stats = ResultStore.merge(args.into, args.sources)
+        except (OSError, ValueError) as error:
+            print(f"repro.cli campaign: error: {error}", file=sys.stderr)
+            return 2
+        print(f"[campaign] {stats}")
+        return 0
+
+    # The inspection commands (status / report / compact) never create or
+    # repair anything: a missing directory, a half-written store or a
+    # corrupted results file must exit with a one-line error, not a
+    # traceback and not a freshly-created empty store.
     try:
-        store = ResultStore(args.dir)
+        store = ResultStore(args.dir, create=False)
+
+        if args.campaign_command == "status":
+            scheduler = CampaignScheduler(store.spec, store)
+            status = scheduler.status()
+            print(f"== campaign {status.campaign} ==")
+            print(f"jobs: {status.total} total | {len(status.completed)} "
+                  f"completed | {len(status.interrupted)} interrupted "
+                  f"(re-run on resume) | {len(status.pending)} pending")
+            print(f"cache spill: {store.spilled_entry_count()} entries")
+            for job_id in status.pending:
+                marker = ("interrupted" if job_id in status.interrupted
+                          else "pending")
+                print(f"  {marker:<11} {job_id}")
+            return 0
+
+        if args.campaign_command == "report":
+            report = CampaignReport.from_store(store)
+            text = report.to_text()
+            if args.out:
+                report.save(args.out)
+                print(f"[campaign] report written to {args.out}")
+            else:
+                print(text, end="")
+            return 0
+
+        if args.campaign_command == "compact":
+            stats = store.compact_spill()
+            print(f"[campaign] {stats}")
+            return 0
     except (OSError, ValueError) as error:
         print(f"repro.cli campaign: error: {error}", file=sys.stderr)
         return 2
 
-    if args.campaign_command == "status":
-        scheduler = CampaignScheduler(store.spec, store)
-        status = scheduler.status()
-        print(f"== campaign {status.campaign} ==")
-        print(f"jobs: {status.total} total | {len(status.completed)} completed "
-              f"| {len(status.interrupted)} interrupted (re-run on resume) "
-              f"| {len(status.pending)} pending")
-        print(f"cache spill: {store.spilled_entry_count()} entries")
-        for job_id in status.pending:
-            marker = ("interrupted" if job_id in status.interrupted
-                      else "pending")
-            print(f"  {marker:<11} {job_id}")
-        return 0
-
-    if args.campaign_command == "report":
-        report = CampaignReport.from_store(store)
-        text = report.to_text()
-        if args.out:
-            report.save(args.out)
-            print(f"[campaign] report written to {args.out}")
-        else:
-            print(text, end="")
-        return 0
-
     raise AssertionError(f"unhandled campaign command {args.campaign_command}")
+
+
+def _run_serve(args: argparse.Namespace) -> int:
+    from repro.service import ServiceConfig, serve
+
+    try:
+        config = ServiceConfig(
+            root=args.root,
+            host=args.host,
+            port=args.port,
+            n_workers=args.n_workers,
+            queue_limit=args.queue_limit,
+            request_timeout=args.request_timeout,
+            step_period=args.step_period,
+        )
+    except ValueError as error:
+        print(f"repro.cli serve: error: {error}", file=sys.stderr)
+        return 2
+    return serve(config)
 
 
 def _build_parser() -> argparse.ArgumentParser:
     from repro.search.api import available_strategies
+    from repro.utils.log import LOG_LEVELS
     from repro.workloads.networks import NETWORK_BUILDERS
+
+    log_level_help = ("structured stderr logging threshold for all "
+                      "repro components (default: warning)")
+
+    def _add_log_level(target: argparse.ArgumentParser) -> None:
+        # Re-declared on every leaf subparser (default SUPPRESS so it never
+        # clobbers the top-level value) so the flag is accepted both before
+        # and after the subcommand.
+        target.add_argument("--log-level", choices=LOG_LEVELS,
+                            default=argparse.SUPPRESS, help=log_level_help)
 
     parser = argparse.ArgumentParser(prog="repro.cli", description=__doc__,
                                      formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--log-level", choices=LOG_LEVELS, default="warning",
+                        help=log_level_help)
     subparsers = parser.add_subparsers(dest="command", required=True,
-                                       metavar="{search,list,all," +
+                                       metavar="{search,campaign,serve,list,all," +
                                                ",".join(sorted(_EXPERIMENTS)) + "}")
 
     # Experiment subcommands keep the original calling convention:
@@ -275,6 +340,7 @@ def _build_parser() -> argparse.ArgumentParser:
         if name != "list":
             sub.add_argument("--scale", choices=["small", "paper"], default="small",
                              help="reduced budgets (minutes) or paper budgets (hours)")
+        _add_log_level(sub)
 
     search = subparsers.add_parser(
         "search", help="run one co-search strategy through the unified API")
@@ -295,6 +361,7 @@ def _build_parser() -> argparse.ArgumentParser:
     search.add_argument("--fixed-hardware", nargs=3, type=int, default=None,
                         metavar=("PE_DIM", "ACC_KB", "SP_KB"),
                         help="hardware for the fixed_hw_random strategy")
+    _add_log_level(search)
 
     campaign = subparsers.add_parser(
         "campaign", help="run/inspect sharded, resumable experiment campaigns")
@@ -328,17 +395,64 @@ def _build_parser() -> argparse.ArgumentParser:
                                  help="campaign store directory")
     campaign_report.add_argument("--out", default=None,
                                  help="write the report to a file instead of stdout")
+
+    campaign_merge = campaign_sub.add_parser(
+        "merge", help="merge shard stores of one spec into a single store")
+    campaign_merge.add_argument("sources", nargs="+",
+                                help="source store directories (same spec)")
+    campaign_merge.add_argument("--into", required=True,
+                                help="destination store directory "
+                                     "(created if missing)")
+
+    campaign_compact = campaign_sub.add_parser(
+        "compact", help="rewrite a store's cache spill as one deduplicated "
+                        "segment (reloads bit-identically)")
+    campaign_compact.add_argument("--dir", required=True,
+                                  help="campaign store directory")
+
+    for sub in (campaign_run, campaign_status, campaign_report,
+                campaign_merge, campaign_compact):
+        _add_log_level(sub)
+
+    serve = subparsers.add_parser(
+        "serve", help="run the search-service job daemon (docs/service.md)")
+    serve.add_argument("--root", required=True,
+                       help="service state directory (tenant stores, shared "
+                            "cache spill, endpoint file)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=0,
+                       help="bind port (default: 0 = ephemeral; see "
+                            "<root>/service.json for the chosen port)")
+    serve.add_argument("--n-workers", type=int, default=2,
+                       help="fork-pool size: max concurrent evaluations "
+                            "across all clients (default: 2)")
+    serve.add_argument("--queue-limit", type=int, default=64,
+                       help="bounded queue depth; submits beyond it get "
+                            "429 + Retry-After (default: 64)")
+    serve.add_argument("--request-timeout", type=float, default=30.0,
+                       help="per-request socket timeout in seconds "
+                            "(default: 30)")
+    serve.add_argument("--step-period", type=int, default=25,
+                       help="stream a step event every N samples "
+                            "(default: 25)")
+    _add_log_level(serve)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
 
+    from repro.utils.log import configure_logging
+    configure_logging(args.log_level)
+
     try:
         if args.command == "search":
             return _run_search(args)
         if args.command == "campaign":
             return _run_campaign_command(args)
+        if args.command == "serve":
+            return _run_serve(args)
         if args.command == "list":
             for name in sorted(_EXPERIMENTS):
                 print(f"{name:<6} {_DESCRIPTIONS[name]}")

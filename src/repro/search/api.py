@@ -43,8 +43,11 @@ from typing import Any, Callable, Protocol, Sequence, runtime_checkable
 from repro.arch.config import HardwareConfig
 from repro.mapping.mapping import Mapping
 from repro.timeloop.model import NetworkPerformance
+from repro.utils.log import get_logger
 from repro.utils.rng import SeedLike
 from repro.workloads.networks import Network, get_network
+
+log = get_logger("search")
 
 
 # --------------------------------------------------------------------------- #
@@ -429,6 +432,9 @@ class SearchSession:
             yield
         except KeyboardInterrupt:
             self.interrupted = True
+            log.info("%s search on %s interrupted after %d samples "
+                     "(returning best-so-far)", self.method,
+                     self.network_name or "<network>", self.samples)
 
     # -- completion ------------------------------------------------------ #
     def finish(self, extras: dict[str, Any] | None = None) -> SearchOutcome:
@@ -448,6 +454,10 @@ class SearchSession:
                 f"{self.method} search produced no feasible design; "
                 "increase the budget or the searcher's settings")
         seed = getattr(self.settings, "seed", None)
+        log.debug("%s search on %s finished: best EDP %.4e after %d samples "
+                  "in %.2fs%s", self.method, self.network_name or "<network>",
+                  self.best.edp, self.samples, self.elapsed_seconds,
+                  " (interrupted)" if self.interrupted else "")
         return SearchOutcome(
             method=self.method,
             best=self.best,

@@ -1,0 +1,30 @@
+"""Search-as-a-service: a job daemon serving searches and campaigns.
+
+See :mod:`repro.service.daemon` for the architecture overview and
+``docs/service.md`` for the HTTP API.
+"""
+
+from repro.service.client import Client, ServiceError
+from repro.service.daemon import (
+    SearchService,
+    ServiceConfig,
+    ServiceRejection,
+    create_server,
+    serve,
+    write_endpoint_file,
+)
+from repro.service.jobs import JobRecord, RequestError, ServiceLayout
+
+__all__ = [
+    "Client",
+    "JobRecord",
+    "RequestError",
+    "SearchService",
+    "ServiceConfig",
+    "ServiceError",
+    "ServiceLayout",
+    "ServiceRejection",
+    "create_server",
+    "serve",
+    "write_endpoint_file",
+]

@@ -1,0 +1,222 @@
+"""A thin stdlib HTTP client for the search service.
+
+Wraps the daemon's JSON API (submit / poll / stream / fetch) in methods that
+speak the repo's own types where it helps (budgets, hardware configs) and
+raw dicts elsewhere.  One ``http.client`` connection per request — the
+service is a job queue, not a chat channel, and per-request connections keep
+the client trivially thread-safe.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from pathlib import Path
+from typing import Any, Iterator, Mapping
+from urllib.parse import quote, urlsplit
+
+from repro.search.api import SearchBudget
+from repro.utils.serialization import budget_to_dict, hardware_to_dict
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx response from the daemon."""
+
+    def __init__(self, status: int, message: str,
+                 retry_after: float | None = None) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.reason = message
+        self.retry_after = retry_after
+
+
+class Client:
+    """Talk to one running search-service daemon."""
+
+    def __init__(self, base_url: str, timeout: float = 60.0) -> None:
+        parts = urlsplit(base_url if "//" in base_url
+                         else f"http://{base_url}")
+        if parts.scheme not in ("", "http"):
+            raise ValueError(f"unsupported scheme {parts.scheme!r} "
+                             "(the service speaks plain http)")
+        if parts.hostname is None:
+            raise ValueError(f"no host in service URL {base_url!r}")
+        self.host = parts.hostname
+        self.port = parts.port or 80
+        self.timeout = timeout
+
+    @classmethod
+    def from_root(cls, root: str | Path, timeout: float = 60.0) -> "Client":
+        """Discover the daemon through its ``<root>/service.json`` file."""
+        endpoint_path = Path(root) / "service.json"
+        try:
+            endpoint = json.loads(endpoint_path.read_text())
+        except OSError as error:
+            raise ServiceError(
+                0, f"no running service under {root} "
+                   f"(cannot read {endpoint_path}: {error})") from None
+        return cls(f"http://{endpoint['host']}:{endpoint['port']}",
+                   timeout=timeout)
+
+    # ------------------------------------------------------------------ #
+    # Transport
+    # ------------------------------------------------------------------ #
+    def _request(self, method: str, path: str,
+                 body: Mapping[str, Any] | None = None,
+                 timeout: float | None = None) -> tuple[int, bytes]:
+        connection = http.client.HTTPConnection(
+            self.host, self.port,
+            timeout=self.timeout if timeout is None else timeout)
+        try:
+            payload = None
+            headers = {"Accept": "application/json"}
+            if body is not None:
+                payload = json.dumps(body).encode()
+                headers["Content-Type"] = "application/json"
+            connection.request(method, path, body=payload, headers=headers)
+            response = connection.getresponse()
+            data = response.read()
+            if response.status >= 400:
+                raise self._error_from(response.status, data,
+                                       response.getheader("Retry-After"))
+            return response.status, data
+        finally:
+            connection.close()
+
+    @staticmethod
+    def _error_from(status: int, data: bytes,
+                    retry_after: str | None) -> ServiceError:
+        try:
+            message = json.loads(data).get("error", data.decode(errors="replace"))
+        except ValueError:
+            message = data.decode(errors="replace")
+        return ServiceError(status, message,
+                            retry_after=float(retry_after)
+                            if retry_after else None)
+
+    def _get_json(self, path: str) -> dict:
+        _, data = self._request("GET", path)
+        return json.loads(data)
+
+    # ------------------------------------------------------------------ #
+    # API
+    # ------------------------------------------------------------------ #
+    def healthz(self) -> dict:
+        return self._get_json("/healthz")
+
+    def metrics(self) -> dict:
+        return self._get_json("/metrics")
+
+    def submit_search(self, network: str, strategy: str = "dosa",
+                      seed: int = 0,
+                      budget: int | Mapping[str, Any] | SearchBudget
+                      | None = None,
+                      settings: Mapping[str, Any] | None = None,
+                      hardware: Any = None,
+                      tenant: str | None = None) -> dict:
+        """Submit one seeded search; returns the accepted job summary."""
+        body: dict[str, Any] = {
+            "kind": "search",
+            "network": network,
+            "strategy": strategy,
+            "seed": seed,
+        }
+        if budget is not None:
+            body["budget"] = (budget_to_dict(budget)
+                              if isinstance(budget, SearchBudget)
+                              else budget)
+        if settings:
+            body["settings"] = dict(settings)
+        if hardware is not None:
+            body["hardware"] = (hardware if isinstance(hardware, Mapping)
+                                else hardware_to_dict(hardware))
+        if tenant is not None:
+            body["tenant"] = tenant
+        _, data = self._request("POST", "/v1/jobs", body=body)
+        return json.loads(data)
+
+    def submit_campaign(self, spec: Any,
+                        tenant: str | None = None) -> dict:
+        """Submit a whole campaign grid (a CampaignSpec or its dict form)."""
+        payload = spec.to_dict() if hasattr(spec, "to_dict") else dict(spec)
+        body: dict[str, Any] = {"kind": "campaign", "spec": payload}
+        if tenant is not None:
+            body["tenant"] = tenant
+        _, data = self._request("POST", "/v1/jobs", body=body)
+        return json.loads(data)
+
+    def job(self, job_id: str) -> dict:
+        return self._get_json(f"/v1/jobs/{quote(job_id, safe='')}")
+
+    def jobs(self, tenant: str | None = None) -> list[dict]:
+        path = "/v1/jobs"
+        if tenant is not None:
+            path += f"?tenant={quote(tenant, safe='')}"
+        return self._get_json(path)["jobs"]
+
+    def result_bytes(self, job_id: str, deterministic: bool = True) -> bytes:
+        """The raw result document — for search jobs, the canonical outcome
+        JSON, byte-comparable against an offline run's canonical form."""
+        flag = "1" if deterministic else "0"
+        _, data = self._request(
+            "GET",
+            f"/v1/jobs/{quote(job_id, safe='')}/result?deterministic={flag}")
+        return data
+
+    def result(self, job_id: str, deterministic: bool = True) -> dict:
+        return json.loads(self.result_bytes(job_id, deterministic))
+
+    def wait(self, job_id: str, timeout: float = 300.0,
+             poll: float = 0.2) -> dict:
+        """Poll until the job reaches a terminal state; raise on failure."""
+        deadline = time.monotonic() + timeout
+        while True:
+            record = self.job(job_id)
+            if record["state"] == "done":
+                return record
+            if record["state"] == "failed":
+                raise ServiceError(500, f"job {job_id} failed: "
+                                        f"{record.get('error')}")
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {record['state']} "
+                    f"after {timeout:.0f}s")
+            time.sleep(poll)
+
+    def events(self, job_id: str,
+               last_event_id: int | None = None) -> Iterator[tuple[str, dict]]:
+        """Stream the job's server-sent events as ``(event, payload)`` pairs.
+
+        Blocks on a dedicated connection until the daemon closes the stream
+        (job reached a terminal state, or the daemon drained).
+        """
+        connection = http.client.HTTPConnection(self.host, self.port,
+                                                timeout=self.timeout)
+        try:
+            headers = {"Accept": "text/event-stream"}
+            if last_event_id is not None:
+                headers["Last-Event-ID"] = str(last_event_id)
+            connection.request(
+                "GET", f"/v1/jobs/{quote(job_id, safe='')}/events",
+                headers=headers)
+            response = connection.getresponse()
+            if response.status >= 400:
+                raise self._error_from(response.status, response.read(),
+                                       response.getheader("Retry-After"))
+            event, data_lines = None, []
+            for raw in response:
+                line = raw.decode().rstrip("\n").rstrip("\r")
+                if line.startswith(":"):
+                    continue  # heartbeat comment
+                if line.startswith("event:"):
+                    event = line[len("event:"):].strip()
+                elif line.startswith("data:"):
+                    data_lines.append(line[len("data:"):].strip())
+                elif not line:
+                    if event is not None or data_lines:
+                        payload = json.loads("\n".join(data_lines) or "{}")
+                        yield (event or "message", payload)
+                    event, data_lines = None, []
+        finally:
+            connection.close()

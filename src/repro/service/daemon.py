@@ -1,0 +1,773 @@
+"""Search-as-a-service: the long-running job daemon.
+
+One daemon process serves many concurrent clients over HTTP/JSON (stdlib
+``http.server`` only — no new dependencies):
+
+* ``POST /v1/jobs`` submits a search or campaign job into a **bounded**
+  queue (429 + ``Retry-After`` when full — backpressure, not buffering),
+* ``n_workers`` dispatcher threads drive each job through a
+  :class:`~repro.campaign.scheduler.CampaignScheduler` pointed at **one
+  shared fork worker pool**, so total evaluation parallelism is capped at
+  the pool size no matter how many clients are connected,
+* every job persists into its own per-tenant
+  :class:`~repro.campaign.store.ResultStore`, all sharing a single
+  cross-process evaluation-cache spill (``<root>/cache``) — tenants benefit
+  from each other's reference-model evaluations, and because cache entries
+  are bit-identical to fresh evaluations, sharing never changes results,
+* ``GET /v1/jobs/<id>/events`` streams per-job progress as server-sent
+  events fed by the search callbacks running inside the pool workers,
+* SIGTERM/SIGINT drains gracefully: the queue closes (503), a shared stop
+  event makes every in-flight search raise at its next step, the searchers'
+  ``absorb_interrupt`` path persists flagged best-so-far outcomes, and a
+  restarted daemon resumes exactly those jobs (seeded determinism makes the
+  resumed results identical to an uninterrupted run).
+
+Results are **byte-identical** to offline :func:`repro.optimize` runs with
+the same seed: ``GET /v1/jobs/<id>/result`` serves the canonical outcome
+JSON (wall-clock stripped), so clients can diff service output against local
+runs.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import socket
+import threading
+import time
+from collections import deque
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import wait as futures_wait
+from dataclasses import dataclass
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from queue import Empty
+from typing import Any, Callable
+
+from repro.campaign.report import CampaignReport
+from repro.campaign.scheduler import (
+    CampaignScheduler,
+    PoolProgress,
+    install_worker_channel,
+)
+from repro.campaign.store import ResultStore
+from repro.service.jobs import (
+    STATE_DONE,
+    STATE_FAILED,
+    STATE_QUEUED,
+    STATE_RUNNING,
+    JobRecord,
+    RequestError,
+    ServiceLayout,
+    new_job_id,
+    normalize_request,
+)
+from repro.service.metrics import ServiceMetrics
+from repro.utils.atomic import write_json_atomic
+from repro.utils.log import get_logger
+from repro.utils.serialization import (
+    canonical_outcome_json,
+    deterministic_outcome_payload,
+)
+
+log = get_logger("service.daemon")
+
+#: Submit bodies larger than this are rejected outright (413).
+MAX_REQUEST_BYTES = 8 * 1024 * 1024
+
+
+@dataclass
+class ServiceConfig:
+    """Tunables of one daemon instance."""
+
+    root: Path
+    host: str = "127.0.0.1"
+    #: 0 binds an ephemeral port; the actual endpoint is discoverable via
+    #: ``<root>/service.json``.
+    port: int = 0
+    #: Fork-pool size *and* dispatcher-thread count: at most this many
+    #: evaluations run concurrently across all clients and tenants.
+    n_workers: int = 2
+    #: Bounded submit queue: beyond this many queued (not yet running) jobs,
+    #: submits get 429 + Retry-After instead of unbounded buffering.
+    queue_limit: int = 64
+    #: Socket timeout applied to each HTTP request (slowloris guard).
+    request_timeout: float = 30.0
+    #: Stream an ``on_step`` SSE event every N samples.
+    step_period: int = 25
+    #: SSE keep-alive comment period while a job is idle in the queue.
+    heartbeat_seconds: float = 10.0
+
+    def __post_init__(self) -> None:
+        self.root = Path(self.root)
+        if self.n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {self.n_workers}")
+        if self.queue_limit < 1:
+            raise ValueError(f"queue_limit must be >= 1, got {self.queue_limit}")
+
+
+class ServiceRejection(Exception):
+    """A request the daemon refuses with a specific HTTP status."""
+
+    def __init__(self, status: int, reason: str,
+                 retry_after: float | None = None) -> None:
+        super().__init__(reason)
+        self.status = status
+        self.reason = reason
+        self.retry_after = retry_after
+
+
+class _JobEvents:
+    """One job's in-memory event log: append-only, bounded, replayable.
+
+    SSE handlers tail it by sequence number, so a client that reconnects
+    with ``Last-Event-ID`` resumes where it left off (within the retention
+    window).  ``close()`` wakes every tail and marks the stream finished.
+    """
+
+    CAP = 1024
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._events: list[tuple[int, str, dict]] = []
+        self._base = 0
+        self.closed = False
+
+    def emit(self, event: str, payload: dict) -> None:
+        with self._cond:
+            if self.closed:
+                return
+            seq = self._base + len(self._events)
+            self._events.append((seq, event, dict(payload)))
+            overflow = len(self._events) - self.CAP
+            if overflow > 0:
+                del self._events[:overflow]
+                self._base += overflow
+            self._cond.notify_all()
+
+    def close(self) -> None:
+        with self._cond:
+            self.closed = True
+            self._cond.notify_all()
+
+    def since(self, seq: int, timeout: float) -> tuple[list, bool]:
+        """Events with sequence >= ``seq`` (blocking up to ``timeout``)."""
+        with self._cond:
+            self._cond.wait_for(
+                lambda: self.closed or self._base + len(self._events) > seq,
+                timeout=timeout)
+            start = max(0, seq - self._base)
+            return list(self._events[start:]), self.closed
+
+
+class SearchService:
+    """The daemon's engine: queue, dispatchers, shared pool, persistence.
+
+    Separate from the HTTP layer so tests (and embedders) can drive it
+    directly; :func:`create_server` wraps it in a ``ThreadingHTTPServer``.
+    """
+
+    def __init__(self, config: ServiceConfig) -> None:
+        self.config = config
+        self.layout = ServiceLayout(config.root)
+        self.layout.root.mkdir(parents=True, exist_ok=True)
+        self.layout.cache_dir.mkdir(parents=True, exist_ok=True)
+        self.metrics = ServiceMetrics()
+        self.started_at = time.time()
+        self._lock = threading.RLock()
+        self._cond = threading.Condition(self._lock)
+        self._registry: dict[str, JobRecord] = {}
+        self._pending: deque[str] = deque()
+        self._events: dict[str, _JobEvents] = {}
+        self._draining = threading.Event()
+        self._drained = threading.Event()
+        self._dispatchers: list[threading.Thread] = []
+        self._progress_stop = threading.Event()
+        self._progress_thread: threading.Thread | None = None
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX platforms
+            context = multiprocessing.get_context()
+        self._mp_context = context
+        self._progress_queue = context.Queue()
+        self._stop_event = context.Event()
+        self._executor: ProcessPoolExecutor | None = None
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def start(self) -> None:
+        """Fork the worker pool, recover persisted jobs, start the threads.
+
+        The pool is forked (and warmed up) *before* any service thread
+        exists: forking a process that already runs threads risks inheriting
+        locks mid-acquire, so all forks happen while this is still a
+        single-threaded process.
+        """
+        self._executor = ProcessPoolExecutor(
+            max_workers=self.config.n_workers,
+            mp_context=self._mp_context,
+            initializer=install_worker_channel,
+            initargs=(self._progress_queue, self._stop_event),
+        )
+        # Occupy every slot with a short sleep so the executor forks its full
+        # complement of workers now instead of lazily from a dispatcher.
+        futures_wait([self._executor.submit(time.sleep, 0.2)
+                      for _ in range(self.config.n_workers)])
+        self.recover()
+        self._progress_thread = threading.Thread(
+            target=self._progress_loop, name="svc-progress", daemon=True)
+        self._progress_thread.start()
+        for index in range(self.config.n_workers):
+            thread = threading.Thread(target=self._dispatch_loop,
+                                      name=f"svc-dispatch-{index}", daemon=True)
+            thread.start()
+            self._dispatchers.append(thread)
+        log.info("service started: root=%s workers=%d queue_limit=%d",
+                 self.layout.root, self.config.n_workers,
+                 self.config.queue_limit)
+
+    def recover(self) -> None:
+        """Re-register persisted jobs; re-enqueue the incomplete ones.
+
+        A job that was ``running`` when the previous daemon died goes back to
+        ``queued``: its store already holds any flagged best-so-far outcome,
+        and the scheduler's resume path re-runs exactly the incomplete cells.
+        """
+        for record in self.layout.load_records():
+            self._registry[record.job_id] = record
+            if record.state in (STATE_DONE, STATE_FAILED):
+                continue
+            resumed = record.state == STATE_RUNNING or record.attempts > 0
+            record.state = STATE_QUEUED
+            self.layout.save_record(record)
+            self._pending.append(record.job_id)
+            self._events_for(record.job_id).emit(
+                "queued", {"job_id": record.job_id, "resumed": resumed})
+            if resumed:
+                self.metrics.count("jobs_resumed")
+                log.info("service: resuming job %s (attempt %d)",
+                         record.job_id, record.attempts + 1)
+
+    def drain(self) -> None:
+        """Graceful shutdown: stop accepting, interrupt, persist, wind down.
+
+        In-flight searches raise at their next step (via the shared stop
+        event), the schedulers persist their flagged best-so-far outcomes,
+        and the affected jobs return to ``queued`` on disk so the next daemon
+        resumes them.  Idempotent; blocks until fully drained.
+        """
+        with self._cond:
+            first = not self._draining.is_set()
+            self._draining.set()
+            self._cond.notify_all()
+        if not first:
+            self._drained.wait()
+            return
+        log.info("service draining: interrupting in-flight jobs")
+        self._stop_event.set()
+        for thread in self._dispatchers:
+            thread.join()
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+        self._progress_stop.set()
+        if self._progress_thread is not None:
+            self._progress_thread.join()
+        with self._lock:
+            events = list(self._events.values())
+        for log_ in events:
+            log_.close()
+        self._drained.set()
+        log.info("service drained")
+
+    @property
+    def draining(self) -> bool:
+        return self._draining.is_set()
+
+    # ------------------------------------------------------------------ #
+    # Client-facing operations (HTTP handlers call these)
+    # ------------------------------------------------------------------ #
+    def submit(self, payload: Any) -> JobRecord:
+        """Validate, persist and enqueue one job; raise on rejection."""
+        if self._draining.is_set():
+            self.metrics.count("jobs_rejected_draining")
+            raise ServiceRejection(503, "service is draining")
+        try:
+            tenant, kind, request = normalize_request(payload)
+        except RequestError:
+            self.metrics.count("jobs_rejected_invalid")
+            raise
+        with self._cond:
+            if len(self._pending) >= self.config.queue_limit:
+                self.metrics.count("jobs_rejected_full")
+                raise ServiceRejection(
+                    429, f"queue is full ({self.config.queue_limit} jobs)",
+                    retry_after=1.0)
+            record = JobRecord(job_id=new_job_id(), tenant=tenant,
+                               kind=kind, request=request)
+            self.layout.save_record(record)
+            self._registry[record.job_id] = record
+            self._pending.append(record.job_id)
+            events = self._events_for(record.job_id)
+            self._cond.notify()
+        events.emit("queued", {"job_id": record.job_id, "resumed": False})
+        self.metrics.count("jobs_submitted")
+        log.info("service: accepted %s job %s (tenant %s)",
+                 kind, record.job_id, tenant)
+        return record
+
+    def job(self, job_id: str) -> JobRecord:
+        with self._lock:
+            record = self._registry.get(job_id)
+        if record is None:
+            raise KeyError(job_id)
+        return record
+
+    def job_summaries(self, tenant: str | None = None) -> list[dict]:
+        with self._lock:
+            records = list(self._registry.values())
+        if tenant is not None:
+            records = [r for r in records if r.tenant == tenant]
+        records.sort(key=lambda r: (r.created_at, r.job_id))
+        return [r.summary() for r in records]
+
+    def job_events(self, job_id: str) -> _JobEvents:
+        """The job's event log; terminal jobs from before a restart get a
+        synthetic terminal frame so late subscribers still see an ending."""
+        with self._lock:
+            record = self._registry.get(job_id)
+            if record is None:
+                raise KeyError(job_id)
+            events = self._events_for(job_id)
+        if record.state in (STATE_DONE, STATE_FAILED) and not events.closed:
+            if record.state == STATE_DONE:
+                events.emit("done", {"job_id": job_id, "result": record.result})
+            else:
+                events.emit("failed", {"job_id": job_id, "error": record.error})
+            events.close()
+        return events
+
+    def result_bytes(self, job_id: str, deterministic: bool = True) -> bytes:
+        """The finished job's result document, as served bytes.
+
+        For search jobs this is exactly
+        :func:`~repro.utils.serialization.canonical_outcome_json` of the
+        persisted outcome — byte-identical to canonicalizing an offline
+        :func:`repro.optimize` run with the same seed.
+        """
+        record = self.job(job_id)
+        if record.state != STATE_DONE:
+            raise ServiceRejection(
+                409, f"job {job_id} is {record.state}, not done")
+        store = ResultStore(self.layout.store_dir(record.tenant, job_id),
+                            writer=False, create=False,
+                            cache_dir=self.layout.cache_dir)
+        latest = store.latest_outcomes()
+        if record.kind == "search":
+            cell = record.spec().jobs()[0].job_id
+            return canonical_outcome_json(
+                latest[cell], deterministic=deterministic).encode()
+        cells = {cell: (deterministic_outcome_payload(payload)
+                        if deterministic else payload)
+                 for cell, payload in latest.items()}
+        document = {
+            "kind": "campaign",
+            "campaign": record.spec().name,
+            "jobs": cells,
+            "report": CampaignReport.from_store(store).to_text(),
+        }
+        return (json.dumps(document, indent=2, sort_keys=True) + "\n").encode()
+
+    def health_payload(self) -> dict:
+        import repro  # runtime import: repro/__init__ imports this module
+
+        with self._lock:
+            depth = len(self._pending)
+        return {
+            "status": "draining" if self.draining else "ok",
+            "version": repro.__version__,
+            "pid": os.getpid(),
+            "root": str(self.layout.root),
+            "workers": self.config.n_workers,
+            "queue": {"depth": depth, "limit": self.config.queue_limit},
+            "uptime_seconds": time.time() - self.started_at,
+        }
+
+    def metrics_payload(self) -> dict:
+        with self._lock:
+            queued = len(self._pending)
+            running = sum(1 for r in self._registry.values()
+                          if r.state == STATE_RUNNING)
+        return self.metrics.snapshot(queued=queued, running=running)
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _events_for(self, job_id: str) -> _JobEvents:
+        with self._lock:
+            events = self._events.get(job_id)
+            if events is None:
+                events = self._events[job_id] = _JobEvents()
+            return events
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            with self._cond:
+                while not self._pending and not self._draining.is_set():
+                    self._cond.wait(0.5)
+                if self._draining.is_set():
+                    # Leave still-queued jobs for the next daemon: they are
+                    # already persisted as queued.
+                    return
+                job_id = self._pending.popleft()
+                record = self._registry[job_id]
+                record.state = STATE_RUNNING
+                record.started_at = time.time()
+                record.attempts += 1
+            self.layout.save_record(record)
+            self._events_for(job_id).emit(
+                "running", {"job_id": job_id, "attempt": record.attempts})
+            try:
+                self._execute(record)
+            except BaseException as error:  # noqa: BLE001 - keep dispatching
+                log.error("service: job %s crashed the dispatcher: %r",
+                          job_id, error)
+                self._finish(record, STATE_FAILED, error=repr(error))
+
+    def _execute(self, record: JobRecord) -> None:
+        events = self._events_for(record.job_id)
+        started = time.monotonic()
+        try:
+            spec = record.spec()
+            store = ResultStore(
+                self.layout.store_dir(record.tenant, record.job_id),
+                spec=spec, cache_dir=self.layout.cache_dir)
+            scheduler = CampaignScheduler(
+                spec, store, executor=self._executor,
+                progress=PoolProgress(tag=record.job_id,
+                                      step_period=self.config.step_period))
+
+            def on_cell(job, outcome) -> None:
+                events.emit("cell_done", {
+                    "cell": job.job_id,
+                    "best_edp": outcome.best_edp,
+                    "samples": outcome.total_samples,
+                    "interrupted": outcome.interrupted,
+                })
+
+            run = scheduler.run(on_job_done=on_cell)
+        except Exception as error:  # noqa: BLE001 - job-level failure
+            log.warning("service: job %s failed: %r", record.job_id, error)
+            self._finish(record, STATE_FAILED, error=repr(error))
+            return
+        if run.was_interrupted:
+            # Drain: flagged best-so-far cells are persisted in the store;
+            # the record goes back to queued for the next daemon to resume.
+            # As in _finish, the record is re-queued and persisted before the
+            # terminal frame so a client that saw it observes the final state.
+            with self._lock:
+                record.state = STATE_QUEUED
+            self.layout.save_record(record)
+            self.metrics.count("jobs_interrupted")
+            events.emit("interrupted",
+                        {"job_id": record.job_id,
+                         "persisted_cells": run.interrupted})
+            events.close()
+            log.info("service: job %s interrupted by drain "
+                     "(%d best-so-far cells persisted)",
+                     record.job_id, len(run.interrupted))
+            return
+        if run.failed:
+            first_id, first_error = run.failed[0]
+            self._finish(record, STATE_FAILED,
+                         error=f"{len(run.failed)} cells failed "
+                               f"(first: {first_id}: {first_error})")
+            return
+        if run.pending_after:
+            self._finish(record, STATE_FAILED,
+                         error=f"{len(run.pending_after)} cells unexpectedly "
+                               "pending after a full run")
+            return
+        summary = {
+            "cells": len(run.outcomes),
+            "samples": sum(o.total_samples for o in run.outcomes.values()),
+        }
+        if run.outcomes:
+            summary["best_edp"] = min(o.best_edp
+                                      for o in run.outcomes.values())
+        # Latency is observed before the terminal event: a client that saw
+        # the "done" frame must find this job in the /metrics percentiles.
+        self.metrics.observe_latency(time.monotonic() - started)
+        self._finish(record, STATE_DONE, result=summary)
+
+    def _finish(self, record: JobRecord, state: str, error: str | None = None,
+                result: dict | None = None) -> None:
+        # State, persisted record and counters must all be in place before
+        # the terminal frame goes out: a client that saw "done" on the event
+        # stream may immediately fetch the result (no 409) and the metrics
+        # (this job counted).  If a subscriber lands in between, job_events
+        # synthesizes the terminal frame and closes the log first — emit on
+        # a closed log is a no-op, so the frame is never duplicated.
+        events = self._events_for(record.job_id)
+        with self._lock:
+            record.state = state
+            record.finished_at = time.time()
+            record.error = error
+            record.result = result
+        self.layout.save_record(record)
+        if state == STATE_DONE:
+            self.metrics.count("jobs_done")
+            events.emit("done", {"job_id": record.job_id, "result": result})
+        else:
+            self.metrics.count("jobs_failed")
+            events.emit("failed", {"job_id": record.job_id, "error": error})
+        events.close()
+
+    def _progress_loop(self) -> None:
+        """Translate worker-channel tuples into SSE events and metrics."""
+        while not self._progress_stop.is_set():
+            try:
+                item = self._progress_queue.get(timeout=0.25)
+            except Empty:
+                continue
+            except (OSError, EOFError, ValueError):  # pragma: no cover
+                return
+            try:
+                event, tag, payload = item
+            except (TypeError, ValueError):  # pragma: no cover - bad frame
+                continue
+            if event == "stats":
+                self.metrics.add_cache(int(payload.get("hits", 0)),
+                                       int(payload.get("misses", 0)))
+                continue
+            name = "cell_started" if event == "job" else event
+            with self._lock:
+                events = self._events.get(tag)
+            if events is not None:
+                events.emit(name, payload)
+
+
+# --------------------------------------------------------------------------- #
+# HTTP layer
+# --------------------------------------------------------------------------- #
+def _build_handler(service: SearchService) -> type[BaseHTTPRequestHandler]:
+    class Handler(BaseHTTPRequestHandler):
+        protocol_version = "HTTP/1.1"
+        server_version = "repro-service"
+        timeout = service.config.request_timeout
+
+        # -------------------------------------------------------------- #
+        def log_message(self, format: str, *args) -> None:  # noqa: A002
+            log.debug("http %s: " + format, self.address_string(), *args)
+
+        def _send_bytes(self, status: int, body: bytes, content_type: str,
+                        headers: dict[str, str] | None = None) -> None:
+            self.send_response(status)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(body)))
+            for name, value in (headers or {}).items():
+                self.send_header(name, value)
+            self.end_headers()
+            self.wfile.write(body)
+
+        def _send_json(self, status: int, payload: dict,
+                       headers: dict[str, str] | None = None) -> None:
+            body = (json.dumps(payload, indent=2, sort_keys=True)
+                    + "\n").encode()
+            self._send_bytes(status, body, "application/json", headers)
+
+        def _send_error_json(self, status: int, message: str,
+                             headers: dict[str, str] | None = None) -> None:
+            self._send_json(status, {"error": message}, headers)
+
+        def _send_rejection(self, rejection: ServiceRejection) -> None:
+            headers = {}
+            if rejection.retry_after is not None:
+                headers["Retry-After"] = str(int(rejection.retry_after) or 1)
+            self._send_error_json(rejection.status, rejection.reason, headers)
+
+        # -------------------------------------------------------------- #
+        def do_GET(self) -> None:  # noqa: N802 - http.server API
+            from urllib.parse import parse_qs, urlsplit
+
+            parts = urlsplit(self.path)
+            path, query = parts.path, parse_qs(parts.query)
+            try:
+                if path == "/healthz":
+                    self._send_json(200, service.health_payload())
+                elif path == "/metrics":
+                    self._send_json(200, service.metrics_payload())
+                elif path == "/v1/jobs":
+                    tenant = query.get("tenant", [None])[0]
+                    self._send_json(
+                        200, {"jobs": service.job_summaries(tenant)})
+                elif path.startswith("/v1/jobs/"):
+                    rest = path[len("/v1/jobs/"):]
+                    if rest.endswith("/events"):
+                        self._stream_events(rest[:-len("/events")])
+                    elif rest.endswith("/result"):
+                        flag = query.get("deterministic", ["1"])[0]
+                        deterministic = flag not in ("0", "false", "no")
+                        body = service.result_bytes(rest[:-len("/result")],
+                                                    deterministic)
+                        self._send_bytes(200, body, "application/json")
+                    elif "/" not in rest and rest:
+                        self._send_json(200, service.job(rest).summary())
+                    else:
+                        self._send_error_json(404, f"no route for {path}")
+                else:
+                    self._send_error_json(404, f"no route for {path}")
+            except KeyError as error:
+                self._send_error_json(404, f"unknown job {error.args[0]}")
+            except ServiceRejection as rejection:
+                self._send_rejection(rejection)
+
+        def do_POST(self) -> None:  # noqa: N802 - http.server API
+            if urlsplit_path(self.path) != "/v1/jobs":
+                self._send_error_json(404, f"no route for {self.path}")
+                return
+            try:
+                length = int(self.headers.get("Content-Length") or 0)
+            except ValueError:
+                self._send_error_json(400, "bad Content-Length")
+                return
+            if length > MAX_REQUEST_BYTES:
+                self._send_error_json(413, "request body too large")
+                return
+            try:
+                payload = json.loads(self.rfile.read(length) or b"null")
+            except (ValueError, OSError):
+                self._send_error_json(400, "request body is not valid JSON")
+                return
+            try:
+                record = service.submit(payload)
+            except RequestError as error:
+                self._send_error_json(400, str(error))
+                return
+            except ServiceRejection as rejection:
+                self._send_rejection(rejection)
+                return
+            self._send_json(202, record.summary())
+
+        # -------------------------------------------------------------- #
+        def _stream_events(self, job_id: str) -> None:
+            try:
+                events = service.job_events(job_id)
+            except KeyError:
+                self._send_error_json(404, f"unknown job {job_id}")
+                return
+            self.send_response(200)
+            self.send_header("Content-Type", "text/event-stream")
+            self.send_header("Cache-Control", "no-cache")
+            self.send_header("Connection", "close")
+            self.end_headers()
+            self.close_connection = True
+            seq = 0
+            last_id = self.headers.get("Last-Event-ID")
+            if last_id is not None:
+                try:
+                    seq = int(last_id) + 1
+                except ValueError:
+                    pass
+            try:
+                while True:
+                    batch, closed = events.since(
+                        seq, timeout=service.config.heartbeat_seconds)
+                    for seq_i, name, payload in batch:
+                        frame = (f"id: {seq_i}\nevent: {name}\n"
+                                 f"data: {json.dumps(payload, sort_keys=True)}"
+                                 "\n\n")
+                        self.wfile.write(frame.encode())
+                        seq = seq_i + 1
+                    if not batch and not closed:
+                        self.wfile.write(b": keep-alive\n\n")
+                    self.wfile.flush()
+                    if closed and not batch:
+                        return
+            except (BrokenPipeError, ConnectionResetError,
+                    socket.timeout, OSError):
+                return  # client went away; nothing to clean up
+
+    return Handler
+
+
+def urlsplit_path(path: str) -> str:
+    from urllib.parse import urlsplit
+
+    return urlsplit(path).path
+
+
+def create_server(service: SearchService,
+                  host: str | None = None,
+                  port: int | None = None) -> ThreadingHTTPServer:
+    """Bind the HTTP front-end (``port=0`` picks an ephemeral port)."""
+    server = ThreadingHTTPServer(
+        (service.config.host if host is None else host,
+         service.config.port if port is None else port),
+        _build_handler(service))
+    server.daemon_threads = True
+    return server
+
+
+def write_endpoint_file(service: SearchService,
+                        server: ThreadingHTTPServer) -> Path:
+    """Publish the live endpoint at ``<root>/service.json`` (atomic)."""
+    host, port = server.server_address[:2]
+    return write_json_atomic(service.layout.endpoint_path, {
+        "host": host,
+        "port": port,
+        "pid": os.getpid(),
+        "started_at": service.started_at,
+    })
+
+
+def serve(config: ServiceConfig,
+          ready: Callable[[SearchService, ThreadingHTTPServer], None]
+          | None = None) -> int:
+    """Blocking daemon entry point (the body of ``repro.cli serve``).
+
+    Installs SIGTERM/SIGINT handlers that drain gracefully (a second signal
+    hard-exits).  ``ready`` is called once the socket is bound — the service
+    smoke tests use it; scripts can also poll ``<root>/service.json``.
+    """
+    import signal
+
+    service = SearchService(config)
+    service.start()
+    server = create_server(service)
+    write_endpoint_file(service, server)
+    host, port = server.server_address[:2]
+    log.info("service listening on http://%s:%d (root %s)",
+             host, port, service.layout.root)
+    if ready is not None:
+        ready(service, server)
+    stopping = threading.Event()
+
+    def _shutdown() -> None:
+        service.drain()
+        server.shutdown()
+
+    def _graceful(signum, frame) -> None:
+        if stopping.is_set():  # pragma: no cover - second-signal hard exit
+            os._exit(130)
+        stopping.set()
+        threading.Thread(target=_shutdown, name="svc-shutdown",
+                         daemon=True).start()
+
+    previous = {}
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        previous[signum] = signal.signal(signum, _graceful)
+    try:
+        server.serve_forever(poll_interval=0.2)
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+        server.server_close()
+        if not stopping.is_set():
+            service.drain()
+        try:
+            service.layout.endpoint_path.unlink()
+        except OSError:  # pragma: no cover - already gone
+            pass
+    return 0

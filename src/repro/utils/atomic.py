@@ -1,0 +1,39 @@
+"""Complete-or-absent file writes shared by the store and the service.
+
+One durable-write idiom, used everywhere a file must never be observed
+half-written: write to a sibling temporary file, flush + fsync it, atomically
+rename it over the target, then fsync the directory so the rename itself is
+durable.  Readers therefore see either the previous complete content or the
+new complete content, never a partial file — the property the campaign
+store's manifest/segment writes and the service's job records rely on for
+crash-safe restart.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any
+
+
+def write_atomic(path: str | Path, text: str) -> Path:
+    """Atomically replace ``path`` with ``text`` (temp + fsync + rename)."""
+    path = Path(path)
+    temp = path.with_name(path.name + ".tmp")
+    with open(temp, "w") as handle:
+        handle.write(text)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(temp, path)
+    directory_fd = os.open(path.parent, os.O_RDONLY)
+    try:
+        os.fsync(directory_fd)
+    finally:
+        os.close(directory_fd)
+    return path
+
+
+def write_json_atomic(path: str | Path, payload: Any, indent: int = 2) -> Path:
+    """Atomically write ``payload`` as JSON (trailing newline included)."""
+    return write_atomic(path, json.dumps(payload, indent=indent) + "\n")

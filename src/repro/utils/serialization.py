@@ -146,6 +146,37 @@ def outcome_from_dict(payload: dict[str, Any]) -> SearchOutcome:
     )
 
 
+def deterministic_outcome_payload(payload: dict[str, Any]) -> dict[str, Any]:
+    """Strip the nondeterministic fields from an outcome payload.
+
+    ``wall_time_seconds`` is the only field of :func:`outcome_to_dict` that
+    varies between bit-reproducible runs of the same seeded search; dropping
+    it leaves a payload two such runs produce *identically*, whichever
+    machine or process ran them.
+    """
+    payload = dict(payload)
+    payload.pop("wall_time_seconds", None)
+    return payload
+
+
+def canonical_outcome_json(source: SearchOutcome | dict[str, Any],
+                           deterministic: bool = True) -> str:
+    """One canonical JSON text per outcome, for byte-for-byte comparison.
+
+    Accepts a live :class:`SearchOutcome` or an already-serialized payload
+    dict (e.g. one reloaded from a campaign store) — both produce the same
+    bytes for the same search, because JSON round-trips floats exactly.  With
+    ``deterministic=True`` (the default) the wall-clock field is stripped, so
+    a service-run job can be byte-compared against an offline
+    :func:`repro.optimize` run with the same seed.  Keys are sorted and the
+    layout fixed (2-space indent, trailing newline).
+    """
+    payload = source if isinstance(source, dict) else outcome_to_dict(source)
+    if deterministic:
+        payload = deterministic_outcome_payload(payload)
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
 def save_outcome(path: str | Path, outcome: SearchOutcome) -> Path:
     """Write a unified search outcome to ``path`` as JSON; returns the path."""
     path = Path(path)

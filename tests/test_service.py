@@ -1,0 +1,234 @@
+"""Search-as-a-service: daemon, HTTP API, SSE streams, drain and resume."""
+
+import contextlib
+import json
+import threading
+
+import pytest
+
+import repro
+from repro.campaign import CampaignReport, CampaignSpec, StrategyVariant, run_campaign
+from repro.service import (
+    Client,
+    SearchService,
+    ServiceConfig,
+    ServiceError,
+    create_server,
+    write_endpoint_file,
+)
+from repro.service.jobs import (
+    RequestError,
+    build_campaign_spec,
+    normalize_request,
+    validate_tenant,
+)
+from repro.utils.serialization import canonical_outcome_json
+
+
+@contextlib.contextmanager
+def running_service(root, start=True, **overrides):
+    """An in-process daemon + bound HTTP server + discovered client."""
+    config = ServiceConfig(root=root, **overrides)
+    service = SearchService(config)
+    if start:
+        service.start()
+    server = create_server(service)
+    write_endpoint_file(service, server)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield service, Client.from_root(config.root, timeout=120.0)
+    finally:
+        service.drain()
+        server.shutdown()
+        server.server_close()
+        thread.join()
+
+
+def tiny_campaign_spec():
+    return CampaignSpec(
+        name="svc-grid",
+        workloads=("bert",),
+        strategies=(
+            StrategyVariant("random", settings={"num_hardware_designs": 2,
+                                                "mappings_per_layer": 5}),
+        ),
+        seeds=(0, 1),
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Job model
+# --------------------------------------------------------------------------- #
+class TestJobModel:
+    def test_tenant_validation(self):
+        assert validate_tenant(None) == "default"
+        assert validate_tenant("team-a.prod") == "team-a.prod"
+        for bad in ("", "../escape", "a/b", "x" * 65, 7):
+            with pytest.raises(RequestError):
+                validate_tenant(bad)
+
+    def test_normalize_search_request(self):
+        tenant, kind, request = normalize_request(
+            {"network": "bert", "strategy": "random", "seed": 3,
+             "budget": 40, "tenant": "alice"})
+        assert (tenant, kind) == ("alice", "search")
+        assert request["budget"] == {"max_samples": 40, "max_seconds": None}
+        # The normalized request rebuilds the identical spec every time
+        # (what restart-resume relies on).
+        assert build_campaign_spec("j-1", kind, request).to_dict() == \
+            build_campaign_spec("j-1", kind, request).to_dict()
+
+    def test_rejects_bad_requests(self):
+        for bad in (
+            None,
+            {"kind": "teapot"},
+            {"network": "not-a-network"},
+            {"network": "bert", "strategy": "not-a-strategy"},
+            {"network": "bert", "budget": {"max_sample": 5}},
+            {"network": "bert", "unexpected": 1},
+            {"kind": "campaign"},
+            {"kind": "campaign", "spec": {"name": "x"}},
+        ):
+            with pytest.raises(RequestError):
+                normalize_request(bad)
+
+
+# --------------------------------------------------------------------------- #
+# End-to-end over HTTP
+# --------------------------------------------------------------------------- #
+class TestServiceEndToEnd:
+    def test_search_job_matches_offline_byte_for_byte(self, tmp_path):
+        with running_service(tmp_path / "svc", n_workers=2) as (service, client):
+            assert client.healthz()["status"] == "ok"
+            job = client.submit_search("bert", strategy="random", seed=5,
+                                       budget=40, tenant="alice")
+            record = client.wait(job["job_id"], timeout=120)
+            assert record["state"] == "done"
+            assert record["result"]["cells"] == 1
+            served = client.result_bytes(job["job_id"])
+
+            metrics = client.metrics()
+            assert metrics["jobs"]["done"] == 1
+            assert metrics["latency_seconds"]["p50"] is not None
+
+        offline = repro.optimize("bert", strategy="random", seed=5, budget=40)
+        assert served == canonical_outcome_json(offline).encode()
+
+    def test_campaign_job_and_tenant_listing(self, tmp_path):
+        spec = tiny_campaign_spec()
+        with running_service(tmp_path / "svc", n_workers=2) as (service, client):
+            job = client.submit_campaign(spec, tenant="team-a")
+            client.submit_search("bert", strategy="random", seed=0,
+                                 budget=20, tenant="team-b")
+            client.wait(job["job_id"], timeout=180)
+            document = client.result(job["job_id"])
+            assert document["kind"] == "campaign"
+            assert len(document["jobs"]) == spec.grid_size
+
+            team_a = client.jobs(tenant="team-a")
+            assert [j["job_id"] for j in team_a] == [job["job_id"]]
+            assert len(client.jobs()) == 2
+
+        # The served report is byte-identical to an offline campaign run of
+        # the same spec (deterministic report, seeded jobs).
+        offline_dir = tmp_path / "offline"
+        run_campaign(spec, directory=offline_dir)
+        offline_report = CampaignReport.from_store(
+            repro.ResultStore(offline_dir)).to_text()
+        assert document["report"] == offline_report
+
+    def test_sse_stream_reaches_done(self, tmp_path):
+        with running_service(tmp_path / "svc", n_workers=1,
+                             step_period=10) as (service, client):
+            job = client.submit_search("bert", strategy="random", seed=2,
+                                       budget=60)
+            names = [name for name, _ in client.events(job["job_id"])]
+            assert names[0] == "queued"
+            assert "running" in names and "cell_started" in names
+            assert "best" in names
+            assert names[-1] == "done"
+
+            # Replaying after completion (e.g. a reconnecting client) still
+            # ends with a terminal frame.
+            replay = [name for name, _ in client.events(job["job_id"])]
+            assert replay[-1] == "done"
+
+    def test_http_error_paths(self, tmp_path):
+        # No dispatchers (start=False): jobs stay queued, which exposes the
+        # 409/429 paths deterministically.
+        with running_service(tmp_path / "svc", start=False,
+                             queue_limit=2) as (service, client):
+            with pytest.raises(ServiceError) as error:
+                client.submit_search("no-such-network")
+            assert error.value.status == 400
+
+            with pytest.raises(ServiceError) as error:
+                client.job("j-missing")
+            assert error.value.status == 404
+
+            job = client.submit_search("bert", strategy="random", budget=10)
+            with pytest.raises(ServiceError) as error:
+                client.result(job["job_id"])
+            assert error.value.status == 409  # queued, not done
+
+            client.submit_search("bert", strategy="random", budget=10)
+            with pytest.raises(ServiceError) as error:
+                client.submit_search("bert", strategy="random", budget=10)
+            assert error.value.status == 429  # bounded queue: backpressure
+            assert error.value.retry_after is not None
+            assert client.metrics()["jobs"]["rejected_full"] == 1
+
+            service.drain()  # stop accepting; the server itself stays up
+            with pytest.raises(ServiceError) as error:
+                client.submit_search("bert", strategy="random", budget=10)
+            assert error.value.status == 503
+            assert client.healthz()["status"] == "draining"
+
+
+# --------------------------------------------------------------------------- #
+# Drain + restart resume
+# --------------------------------------------------------------------------- #
+class TestDrainAndResume:
+    def test_drain_persists_best_so_far_and_restart_resumes(self, tmp_path):
+        root = tmp_path / "svc"
+        budget = 6000
+        with running_service(root, n_workers=1,
+                             step_period=1) as (service, client):
+            job = client.submit_search("bert", strategy="random", seed=9,
+                                       budget=budget)
+            job_id = job["job_id"]
+            # Wait until the search is genuinely in flight (first best found),
+            # then drain mid-job.
+            for name, _ in client.events(job_id):
+                if name == "best":
+                    break
+            service.drain()
+            record = client.job(job_id)
+            assert record["state"] == "queued"  # persisted for the next daemon
+            store_dir = service.layout.store_dir("default", job_id)
+            outcomes = repro.ResultStore(
+                store_dir, writer=False, create=False).latest_outcomes()
+            assert all(payload["interrupted"]
+                       for payload in outcomes.values())
+
+        # A fresh daemon over the same root resumes the job to completion.
+        with running_service(root, n_workers=1) as (service, client):
+            record = client.wait(job_id, timeout=240)
+            assert record["state"] == "done"
+            assert client.metrics()["jobs"]["resumed"] == 1
+            served = client.result_bytes(job_id)
+
+        offline = repro.optimize("bert", strategy="random", seed=9,
+                                 budget=budget)
+        assert served == canonical_outcome_json(offline).encode()
+
+    def test_restart_without_drain_recovers_queued_jobs(self, tmp_path):
+        root = tmp_path / "svc"
+        # Simulate a crash: jobs accepted but the daemon never ran them.
+        with running_service(root, start=False) as (service, client):
+            job = client.submit_search("bert", strategy="random", seed=4,
+                                       budget=30)
+        with running_service(root, n_workers=1) as (service, client):
+            record = client.wait(job["job_id"], timeout=120)
+            assert record["state"] == "done"
