@@ -1,31 +1,38 @@
 #!/usr/bin/env python
 """Docs CI gate: intra-repo link checking plus the verbatim quickstart snippet.
 
-Checks, in order:
+Checks, as repro-lint-style rules (findings share the format, reporters and
+exit conventions of ``repro.cli lint`` — see docs/lint.md):
 
-1. Every relative markdown link in ``README.md``, ``docs/*.md`` and
-   ``benchmarks/README.md`` points at a file that exists in the repository,
-   and any ``#anchor`` fragment on a markdown target matches one of that
-   file's heading slugs (GitHub slug rules).  External ``http(s)://`` and
-   ``mailto:`` links are skipped — CI must not depend on the network.
-2. The code block between the ``--- README quickstart ---`` markers in
-   ``examples/quickstart.py`` appears *verbatim* inside ``README.md``, so the
-   README example is, character for character, the code that the CI smoke
-   actually runs.
+* ``docs-link`` — every relative markdown link in ``README.md``,
+  ``docs/*.md`` and ``benchmarks/README.md`` points at a file that exists in
+  the repository.  External ``http(s)://`` and ``mailto:`` links are skipped
+  — CI must not depend on the network.
+* ``docs-anchor`` — any ``#anchor`` fragment on a markdown target matches
+  one of that file's heading slugs (GitHub slug rules).
+* ``docs-quickstart`` — the code block between the
+  ``--- README quickstart ---`` markers in ``examples/quickstart.py``
+  appears *verbatim* inside ``README.md``, so the README example is,
+  character for character, the code that the CI smoke actually runs.
 
-Exits non-zero listing every failure (the job prints all problems in one run
-rather than stopping at the first).
+All problems are reported in one run rather than stopping at the first.
+Exit 0 when clean, 1 with findings.
 
-Run with:  python scripts/check_docs.py
+Run with:  python scripts/check_docs.py [--json]
 """
 
 from __future__ import annotations
 
+import argparse
 import re
 import sys
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.analysis.findings import Finding  # noqa: E402
+from repro.analysis.reporters import render_json, render_text  # noqa: E402
 
 DOC_FILES = (
     ["README.md", "benchmarks/README.md"]
@@ -61,53 +68,70 @@ def heading_slugs(markdown: str) -> set[str]:
     return slugs
 
 
-def check_links(doc_path: str, errors: list[str]) -> None:
+def check_links(doc_path: str, findings: list[Finding]) -> int:
     source = REPO_ROOT / doc_path
-    markdown = source.read_text()
-    for target in _LINK_RE.findall(markdown):
-        if target.startswith(("http://", "https://", "mailto:")):
-            continue
-        path_part, _, anchor = target.partition("#")
-        if not path_part:  # same-file anchor
-            resolved = source
-        else:
-            resolved = (source.parent / path_part).resolve()
-            if not resolved.exists():
-                errors.append(f"{doc_path}: broken link -> {target}")
+    checked = 0
+    for lineno, line in enumerate(source.read_text().splitlines(), 1):
+        for target in _LINK_RE.findall(line):
+            if target.startswith(("http://", "https://", "mailto:")):
                 continue
-        if anchor and resolved.suffix == ".md":
-            if anchor not in heading_slugs(resolved.read_text()):
-                errors.append(f"{doc_path}: broken anchor -> {target}")
+            checked += 1
+            path_part, _, anchor = target.partition("#")
+            if not path_part:  # same-file anchor
+                resolved = source
+            else:
+                resolved = (source.parent / path_part).resolve()
+                if not resolved.exists():
+                    findings.append(Finding(
+                        path=doc_path, line=lineno, rule="docs-link",
+                        message=f"broken link -> {target}"))
+                    continue
+            if anchor and resolved.suffix == ".md":
+                if anchor not in heading_slugs(resolved.read_text()):
+                    findings.append(Finding(
+                        path=doc_path, line=lineno, rule="docs-anchor",
+                        message=f"broken anchor -> {target}"))
+    return checked
 
 
-def check_quickstart_snippet(errors: list[str]) -> None:
+def check_quickstart_snippet(findings: list[Finding]) -> None:
     example = (REPO_ROOT / QUICKSTART).read_text()
     try:
         begin = example.index(QUICKSTART_BEGIN) + len(QUICKSTART_BEGIN)
         end = example.index(QUICKSTART_END)
     except ValueError:
-        errors.append(f"{QUICKSTART}: quickstart markers missing")
+        findings.append(Finding(
+            path=QUICKSTART, line=1, rule="docs-quickstart",
+            message="quickstart markers missing"))
         return
     snippet = example[begin:end].strip("\n")
     if snippet not in (REPO_ROOT / "README.md").read_text():
-        errors.append(
-            f"README.md quickstart block has drifted from {QUICKSTART} "
-            f"(the code between the '{QUICKSTART_BEGIN}' markers must appear "
-            "in README.md verbatim)")
+        findings.append(Finding(
+            path="README.md", line=1, rule="docs-quickstart",
+            message=f"quickstart block has drifted from {QUICKSTART} (the "
+                    f"code between the {QUICKSTART_BEGIN!r} markers must "
+                    "appear in README.md verbatim)"))
 
 
-def main() -> int:
-    errors: list[str] = []
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--json", action="store_true",
+                        help="emit the machine-readable findings report")
+    args = parser.parse_args(argv)
+
+    findings: list[Finding] = []
+    links = 0
     for doc_path in DOC_FILES:
-        check_links(doc_path, errors)
-    check_quickstart_snippet(errors)
-    if errors:
-        for error in errors:
-            print(f"FAIL {error}", file=sys.stderr)
-        return 1
-    links = sum(len(_LINK_RE.findall((REPO_ROOT / d).read_text())) for d in DOC_FILES)
-    print(f"docs OK: {len(DOC_FILES)} files, {links} links, quickstart snippet verbatim")
-    return 0
+        links += check_links(doc_path, findings)
+    check_quickstart_snippet(findings)
+    findings.sort()
+
+    counts = {"checked_files": len(DOC_FILES), "checked_links": links}
+    if args.json:
+        sys.stdout.write(render_json(findings, **counts))
+    else:
+        print(render_text(findings, **counts))
+    return 0 if not findings else 1
 
 
 if __name__ == "__main__":

@@ -73,11 +73,17 @@ from repro.service import SearchService, ServiceConfig
 from repro.timeloop import evaluate_mapping, evaluate_network_mappings
 from repro.workloads import LayerDims, conv2d_layer, get_network, matmul_layer
 
-__version__ = "2.2.0"
+__version__ = "2.3.0"
 
 __all__ = [
     "GemminiSpec",
     "HardwareConfig",
+    "CampaignReport",
+    "CampaignScheduler",
+    "CampaignSpec",
+    "ResultStore",
+    "StrategyVariant",
+    "run_campaign",
     "DosaSearcher",
     "DosaSettings",
     "LoopOrderingStrategy",

@@ -1,0 +1,73 @@
+"""The grandfather file: findings accepted as-is until someone fixes them.
+
+The baseline lets the lint gate turn on *before* every historical finding is
+fixed: ``repro.cli lint --update-baseline`` records the current findings in
+``lint-baseline.json`` at the repo root, and subsequent runs subtract them.
+A baselined finding is matched by ``(rule, path, message)`` — no line
+number — so it stays grandfathered across unrelated edits, and disappears
+from the baseline the moment the underlying code is fixed (re-run
+``--update-baseline`` to shrink the file; it never grows on its own).
+
+This repository ships an *empty* baseline: every invariant violation the
+checkers know about has been fixed, and CI keeps it that way.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+
+from repro.analysis.findings import Finding
+from repro.utils.atomic import write_json_atomic
+
+BASELINE_VERSION = 1
+BASELINE_NAME = "lint-baseline.json"
+
+
+def load_baseline(path: str | Path) -> list[Finding]:
+    """Baseline entries from ``path`` (a missing file is an empty baseline)."""
+    path = Path(path)
+    if not path.exists():
+        return []
+    payload = json.loads(path.read_text())
+    version = int(payload.get("version", BASELINE_VERSION))
+    if version > BASELINE_VERSION:
+        raise ValueError(f"baseline version {version} is newer than "
+                         f"supported version {BASELINE_VERSION}")
+    return [Finding.from_dict(entry) for entry in payload.get("findings", [])]
+
+
+def save_baseline(path: str | Path, findings: list[Finding]) -> Path:
+    """Atomically write ``findings`` as the new baseline (sorted, line 0).
+
+    Lines are zeroed out on purpose: the baseline identity excludes them,
+    and storing live line numbers would churn the file on every edit.
+    """
+    entries = sorted({(f.rule, f.path, f.message) for f in findings})
+    payload = {
+        "version": BASELINE_VERSION,
+        "findings": [
+            {"path": path_, "line": 0, "rule": rule, "message": message}
+            for rule, path_, message in entries
+        ],
+    }
+    return write_json_atomic(path, payload)
+
+
+def apply_baseline(findings: list[Finding],
+                   baseline: list[Finding]) -> tuple[list[Finding], int]:
+    """Subtract baselined findings; returns (kept, number_baselined).
+
+    Each baseline entry absorbs every finding with the same identity (one
+    grandfathered pattern may surface on several lines of the same file).
+    """
+    allowed = Counter(entry.baseline_key for entry in baseline)
+    kept: list[Finding] = []
+    baselined = 0
+    for finding in findings:
+        if allowed[finding.baseline_key] > 0:
+            baselined += 1
+        else:
+            kept.append(finding)
+    return kept, baselined

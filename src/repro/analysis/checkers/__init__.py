@@ -1,0 +1,13 @@
+"""Built-in checkers; importing this package registers every rule.
+
+Each module groups the rules guarding one invariant family.  Adding a
+checker = writing a :class:`~repro.analysis.registry.Checker` subclass with
+a ``rule_id`` and a docstring, decorating it with ``register_checker``, and
+importing its module here.
+"""
+
+import repro.analysis.checkers.api_surface  # noqa: F401
+import repro.analysis.checkers.atomic_io  # noqa: F401
+import repro.analysis.checkers.determinism  # noqa: F401
+import repro.analysis.checkers.fork_safety  # noqa: F401
+import repro.analysis.checkers.serde  # noqa: F401

@@ -1,0 +1,136 @@
+"""Atomic I/O rules: persisted state is complete-or-absent, never partial.
+
+The campaign store resumes from its manifest, the service daemon recovers
+jobs from tenant records, and CI diffs regenerated reports byte-for-byte.
+All of that assumes a reader never observes a half-written file — the
+property ``utils/atomic.py`` provides (temp + fsync + rename + dir fsync)
+and a bare ``open(path, "w")`` silently does not.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Checker, register_checker
+
+#: Zones that persist state other components read back later.
+_PERSISTING_ZONES = ("campaign", "service", "experiments", "utils", "analysis")
+
+#: ``Path`` convenience writers that truncate in place.
+_WRITE_METHODS = frozenset({"write_text", "write_bytes"})
+
+_RENAMES = frozenset({"os.rename", "os.replace"})
+
+
+def _literal_mode(node: ast.Call) -> str | None:
+    """The literal mode string of an ``open(...)`` call, if recoverable."""
+    mode: ast.expr | None = node.args[1] if len(node.args) > 1 else None
+    for keyword in node.keywords:
+        if keyword.arg == "mode":
+            mode = keyword.value
+    if mode is None:
+        return "r"
+    if isinstance(mode, ast.Constant) and isinstance(mode.value, str):
+        return mode.value
+    return None
+
+
+def _enclosing_function(source, node: ast.AST) -> ast.AST | None:
+    """The nearest enclosing function of ``node`` (None = module scope)."""
+    current = source.parent(node)
+    while current is not None:
+        if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return current
+        current = source.parent(current)
+    return None
+
+
+@register_checker
+class AtomicWrite(Checker):
+    """Truncating write outside utils/atomic.py; readers may see a partial file.
+
+    A bare ``open(path, "w")`` (or ``"x"``/``"wb"``) and the ``Path``
+    shortcuts ``write_text``/``write_bytes`` truncate the target before the
+    new content lands, so a crash — or a concurrent reader like campaign
+    resume or service job recovery — can observe an empty or half-written
+    file.  In the zones that persist state (``campaign``, ``service``,
+    ``experiments``, ``utils``, ``analysis``), every file write must go
+    through :func:`repro.utils.atomic.write_atomic` /
+    :func:`~repro.utils.atomic.write_json_atomic` instead.  Append
+    (``"a"``) and read-modify (``"r+b"``) opens are not flagged — they do
+    not truncate, and the store's segment appends rely on them.
+
+    Fix by building the content as a string (``io.StringIO`` for csv) and
+    handing it to ``write_atomic``; suppress only for genuinely transient
+    files no other component ever reads.
+    """
+
+    rule_id = "atomic-write"
+    zones = _PERSISTING_ZONES
+
+    def applies_to(self, source) -> bool:
+        # utils/atomic.py is the one place a bare open() is the point.
+        return (super().applies_to(source)
+                and str(source.package_relpath) != "utils/atomic.py")
+
+    def check(self, source) -> Iterator[Finding]:
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if isinstance(node.func, ast.Name) and node.func.id == "open":
+                mode = _literal_mode(node)
+                if mode is not None and mode[0] in "wx":
+                    yield Finding(
+                        path=source.display, line=node.lineno,
+                        rule=self.rule_id,
+                        message=f"bare open(..., {mode!r}) truncates in "
+                                "place; route the write through "
+                                "utils/atomic.write_atomic")
+            elif isinstance(node.func, ast.Attribute) \
+                    and node.func.attr in _WRITE_METHODS:
+                yield Finding(
+                    path=source.display, line=node.lineno, rule=self.rule_id,
+                    message=f".{node.func.attr}(...) truncates in place; "
+                            "route the write through "
+                            "utils/atomic.write_atomic")
+
+
+@register_checker
+class RenameFsync(Checker):
+    """os.rename/os.replace in a function that never fsyncs; rename may not stick.
+
+    Renaming a freshly written temp file over its target is only durable if
+    the data was fsynced first (and the directory after): without the
+    fsync, a crash can leave the *rename* visible but the *content* empty —
+    the exact corruption atomic writes exist to prevent.  Any function that
+    calls ``os.rename`` or ``os.replace`` must also call ``os.fsync``
+    somewhere in its body, the shape ``utils/atomic.write_atomic`` models.
+
+    Fix by using ``write_atomic`` instead of a hand-rolled temp+rename, or
+    by adding the missing fsync calls.
+    """
+
+    rule_id = "atomic-rename"
+    zones = _PERSISTING_ZONES
+
+    def check(self, source) -> Iterator[Finding]:
+        renames: list[tuple[ast.Call, str, ast.AST | None]] = []
+        fsync_scopes: set[ast.AST | None] = set()
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = source.dotted_name(node.func)
+            if dotted in _RENAMES:
+                renames.append((node, dotted,
+                                _enclosing_function(source, node)))
+            elif dotted == "os.fsync":
+                fsync_scopes.add(_enclosing_function(source, node))
+        for node, dotted, scope in renames:
+            if scope not in fsync_scopes:
+                yield Finding(
+                    path=source.display, line=node.lineno, rule=self.rule_id,
+                    message=f"{dotted}() in a function with no os.fsync; "
+                            "the renamed content is not durable (use "
+                            "utils/atomic.write_atomic)")

@@ -1,0 +1,163 @@
+"""Determinism rules: no hidden entropy inside the deterministic zones.
+
+Everything this repo claims — batched kernels bit-identical to scalar
+oracles, interrupt+resume reports byte-equal to uninterrupted runs, served
+results byte-equal to offline ``repro.optimize()`` — rests on the
+deterministic zones (``core``, ``autodiff``, ``mapping``, ``search``,
+``eval``, ``campaign``, and ``analysis`` itself) being pure functions of
+their seeds and inputs.  Three entropy sources sneak in most easily:
+global-state RNG, wall clocks, and filesystem iteration order.  One rule
+per source.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.registry import (
+    Checker,
+    DETERMINISTIC_ZONES,
+    register_checker,
+)
+
+#: ``numpy.random`` attributes that are fine to *reference* (they are types
+#: or the seeded-generator constructor make_rng itself wraps) — everything
+#: else on ``numpy.random`` is the legacy global-state API.
+_NUMPY_RANDOM_ALLOWED = frozenset({"Generator", "BitGenerator", "SeedSequence"})
+
+#: Wall-clock reads.  ``time.monotonic``/``perf_counter`` are deliberately
+#: *not* listed: the zones use them only for elapsed-time fields
+#: (``wall_time_seconds``) that the canonical payloads exclude.
+_CLOCK_NAMES = frozenset({
+    "time.time", "time.time_ns",
+    "datetime.now", "datetime.utcnow", "datetime.today",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+})
+
+#: Directory-iteration callables whose order is OS-dependent.
+_LISTING_FUNCTIONS = frozenset({"os.listdir", "os.scandir",
+                                "glob.glob", "glob.iglob"})
+_LISTING_METHODS = frozenset({"glob", "rglob", "iterdir"})
+
+
+@register_checker
+class DeterminismRng(Checker):
+    """Global-state RNG in a deterministic zone; use utils/rng.make_rng.
+
+    Seeded searches and campaigns must be bit-reproducible, so every
+    stochastic component threads an explicit ``numpy.random.Generator``
+    built by :func:`repro.utils.rng.make_rng` from a seed carried in its
+    settings.  Calls into the stdlib ``random`` module or the legacy
+    ``numpy.random.<fn>`` global-state API (``np.random.rand``, ``seed``,
+    ``shuffle``, even ``default_rng`` — which hides the seed argument this
+    repo requires to be explicit) draw from process-global or ad-hoc state
+    that campaign resume, fork workers and the service daemon cannot
+    reproduce.
+
+    Fix by accepting a ``SeedLike`` and calling ``make_rng(seed)`` (the
+    single conversion point), then passing the generator down.
+    """
+
+    rule_id = "determinism-rng"
+    zones = DETERMINISTIC_ZONES
+
+    def check(self, source) -> Iterator[Finding]:
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = source.dotted_name(node.func)
+            if dotted is None:
+                continue
+            if dotted == "random" or dotted.startswith("random."):
+                yield Finding(
+                    path=source.display, line=node.lineno, rule=self.rule_id,
+                    message=f"stdlib global-state RNG call {dotted}(); "
+                            "thread a make_rng(seed) Generator instead")
+            elif dotted.startswith("numpy.random."):
+                attr = dotted.split(".", 2)[2]
+                if attr.split(".")[0] not in _NUMPY_RANDOM_ALLOWED:
+                    yield Finding(
+                        path=source.display, line=node.lineno,
+                        rule=self.rule_id,
+                        message=f"numpy global/ad-hoc RNG call {dotted}(); "
+                                "use utils/rng.make_rng so the seed is "
+                                "explicit and reproducible")
+
+
+@register_checker
+class DeterminismClock(Checker):
+    """Wall-clock read in a deterministic zone; keep clocks out of results.
+
+    ``time.time()`` and ``datetime.now()`` values differ between the runs
+    that byte-identity tests compare, so any result, record or file that
+    embeds one silently breaks reproducibility (elapsed-time measurement
+    via ``time.monotonic`` is exempt: the zones only feed it into fields
+    like ``wall_time_seconds`` that canonical payloads strip).  The rule
+    also covers ``service/``: the daemon's lifecycle timestamps and uptime
+    metrics are legitimate wall-clock uses, but each one carries an
+    explicit ``allow[determinism-clock]`` so a reviewer can see at a
+    glance that no timestamp leaks into a served result payload.
+
+    Fix by removing the clock from the deterministic computation, deriving
+    the value from inputs/seeds, or — for operational metadata that never
+    reaches a canonical payload — adding a reasoned suppression.
+    """
+
+    rule_id = "determinism-clock"
+    zones = DETERMINISTIC_ZONES + ("service",)
+
+    def check(self, source) -> Iterator[Finding]:
+        seen: set[int] = set()
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Attribute):
+                continue
+            dotted = source.dotted_name(node)
+            if dotted in _CLOCK_NAMES and id(node) not in seen:
+                seen.add(id(node))
+                yield Finding(
+                    path=source.display, line=node.lineno, rule=self.rule_id,
+                    message=f"wall-clock read {dotted} in a deterministic "
+                            "zone; results must not depend on the clock")
+
+
+@register_checker
+class DeterminismListdir(Checker):
+    """Unsorted directory iteration; wrap listings in sorted().
+
+    ``os.listdir``, ``glob.glob`` and ``Path.glob``/``iterdir`` yield
+    entries in filesystem order, which differs across machines and even
+    across runs — enough to reorder cache-spill replay, job recovery, or a
+    report table.  Every listing a deterministic zone (or the service's
+    recovery path) iterates must be wrapped *directly* in ``sorted(...)``.
+
+    Fix with ``sorted(path.glob(...))`` — the repo-wide idiom (see
+    ``campaign/store.py``).
+    """
+
+    rule_id = "determinism-listdir"
+    zones = DETERMINISTIC_ZONES + ("service",)
+
+    def check(self, source) -> Iterator[Finding]:
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = source.dotted_name(node.func)
+            if dotted in _LISTING_FUNCTIONS:
+                listing = dotted
+            elif isinstance(node.func, ast.Attribute) \
+                    and node.func.attr in _LISTING_METHODS:
+                listing = f".{node.func.attr}(...)"
+            else:
+                continue
+            parent = source.parent(node)
+            if isinstance(parent, ast.Call) \
+                    and isinstance(parent.func, ast.Name) \
+                    and parent.func.id == "sorted":
+                continue
+            yield Finding(
+                path=source.display, line=node.lineno, rule=self.rule_id,
+                message=f"directory listing {listing} iterated in "
+                        "filesystem order; wrap it directly in sorted()")

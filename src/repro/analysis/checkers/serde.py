@@ -1,0 +1,150 @@
+"""Serialization parity: every key a serializer writes, its twin reads back.
+
+The bug class this catches shipped in PR 6: ``outcome_to_dict`` wrote
+``num_candidates`` but ``outcome_from_dict`` never read it, so the
+dict -> ``SearchOutcome`` -> dict round trip silently dropped the field and
+broke byte-identity between pool and inline campaign runs.  Nothing about
+that bug was visible at either function alone — only the *pair* is wrong —
+which is exactly what a per-function review keeps missing.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Checker, register_checker
+
+#: Method names treated as the writing half of a class pair.
+_WRITER_METHODS = ("to_dict", "as_dict", "to_json")
+#: Method names treated as the reading half.
+_READER_METHODS = ("from_dict", "from_json")
+
+_READ_CALL_METHODS = frozenset({"get", "pop"})
+
+
+def _literal_written_keys(writer: ast.FunctionDef) -> dict[str, int]:
+    """String keys the writer emits, with the line each first appears on.
+
+    Collected from dict literals (nested ones included — serializers build
+    nested payloads) and from ``payload["key"] = ...`` stores.  Keys built
+    dynamically (comprehensions, ``**`` merges, variables) are invisible to
+    the AST and are deliberately not checked.
+    """
+    keys: dict[str, int] = {}
+    for node in ast.walk(writer):
+        if isinstance(node, ast.Dict):
+            for key in node.keys:
+                if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                    keys.setdefault(key.value, key.lineno)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Subscript) \
+                        and isinstance(target.slice, ast.Constant) \
+                        and isinstance(target.slice.value, str):
+                    keys.setdefault(target.slice.value, target.lineno)
+    return keys
+
+
+def _read_keys(reader: ast.FunctionDef) -> set[str]:
+    """String keys the reader touches, on any receiver.
+
+    Counts ``payload["key"]`` subscripts, ``payload.get("key", ...)`` /
+    ``pop`` calls and ``"key" in payload`` membership tests.  The receiver
+    is deliberately ignored: readers routinely alias sub-payloads
+    (``best = payload["best"]; best["edp"]``), and chasing aliases buys
+    little for a lint that only asks "is this key ever read back?".
+    """
+    keys: set[str] = set()
+    for node in ast.walk(reader):
+        if isinstance(node, ast.Subscript) \
+                and isinstance(node.slice, ast.Constant) \
+                and isinstance(node.slice.value, str):
+            keys.add(node.slice.value)
+        elif isinstance(node, ast.Call) \
+                and isinstance(node.func, ast.Attribute) \
+                and node.func.attr in _READ_CALL_METHODS \
+                and node.args \
+                and isinstance(node.args[0], ast.Constant) \
+                and isinstance(node.args[0].value, str):
+            keys.add(node.args[0].value)
+        elif isinstance(node, ast.Compare) \
+                and isinstance(node.left, ast.Constant) \
+                and isinstance(node.left.value, str) \
+                and any(isinstance(op, (ast.In, ast.NotIn))
+                        for op in node.ops):
+            keys.add(node.left.value)
+    return keys
+
+
+def _function_pairs(source) -> Iterator[tuple[str, ast.FunctionDef,
+                                              ast.FunctionDef]]:
+    """(pair name, writer, reader) for module-level and class pairs.
+
+    Module level: ``<x>_to_dict`` pairs with ``<x>_from_dict``.  Class
+    level: a ``to_dict``/``as_dict``/``to_json`` method pairs with the
+    class's ``from_dict``/``from_json``.
+    """
+    module_functions = {node.name: node for node in source.tree.body
+                        if isinstance(node, ast.FunctionDef)}
+    for name, writer in module_functions.items():
+        for writer_suffix in _WRITER_METHODS:
+            if not name.endswith(f"_{writer_suffix}"):
+                continue
+            prefix = name[: -len(writer_suffix)]
+            reader_suffix = ("from_json" if writer_suffix == "to_json"
+                             else "from_dict")
+            reader = module_functions.get(f"{prefix}{reader_suffix}")
+            if reader is not None:
+                yield f"{name}/{reader.name}", writer, reader
+
+    for node in ast.walk(source.tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        methods = {item.name: item for item in node.body
+                   if isinstance(item, ast.FunctionDef)}
+        reader = next((methods[name] for name in _READER_METHODS
+                       if name in methods), None)
+        if reader is None:
+            continue
+        for writer_name in _WRITER_METHODS:
+            if writer_name in methods:
+                yield (f"{node.name}.{writer_name}/{reader.name}",
+                       methods[writer_name], reader)
+
+
+@register_checker
+class SerdeParity(Checker):
+    """A serializer writes a key its deserializer never reads back.
+
+    For every serialize/deserialize pair — ``to_dict``/``as_dict`` with
+    ``from_dict`` methods on one class, or module-level
+    ``<x>_to_dict``/``<x>_from_dict`` functions — each string key the
+    writer emits (dict literals and ``payload["k"] = ...`` stores,
+    including nested payloads) must be read somewhere in the reader
+    (``payload["k"]``, ``.get("k")``, ``.pop("k")`` or ``"k" in payload``).
+    A written-but-never-read key means the round trip silently drops data:
+    the PR 6 ``num_candidates`` bug class, where pool campaign runs lost a
+    field that inline runs kept.
+
+    Fix by reading the key back into the rebuilt object (add a carrier
+    field if the live type has nowhere to put it), or — when a field is a
+    deliberate write-only annotation — suppressing with a reason that says
+    where the reader's contract documents the drop.
+    """
+
+    rule_id = "serde-parity"
+
+    def check(self, source) -> Iterator[Finding]:
+        for pair_name, writer, reader in _function_pairs(source):
+            written = _literal_written_keys(writer)
+            if not written:
+                continue
+            read = _read_keys(reader)
+            for key, line in sorted(written.items()):
+                if key not in read:
+                    yield Finding(
+                        path=source.display, line=line, rule=self.rule_id,
+                        message=f"{pair_name}: key {key!r} is written but "
+                                "never read back; the round trip drops it")

@@ -1,0 +1,157 @@
+"""One parsed source file: text, AST, zone, imports, and suppressions.
+
+A :class:`SourceFile` is parsed exactly once per lint run and shared by all
+checkers.  It carries the pieces every checker needs:
+
+* the AST (with a child -> parent map, so pattern matchers can ask "is this
+  call directly wrapped in ``sorted(...)``?"),
+* the file's *zone* — its first directory component under the linted
+  package (``"search"`` for ``repro/search/api.py``, ``""`` for top-level
+  modules like ``repro/cli.py``) — which the zone-scoped rules filter on,
+* the module's imports (so ``time.time`` is only matched when ``time`` is
+  actually the imported module, not a same-named attribute), and
+* the inline suppressions::
+
+      risky_call()  # repro-lint: allow[rule-id] why this use is fine
+
+  A suppression on a code line covers that line; a suppression on a
+  comment-only line covers the next line.  Several rules may be listed
+  (``allow[rule-a,rule-b]``).  The reason is mandatory — the whole point is
+  that exceptions to an invariant are written down — and unused or unknown
+  suppressions are themselves reported (rule ``lint-suppression``), so
+  stale exceptions cannot accumulate.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path, PurePosixPath
+
+_SUPPRESSION_RE = re.compile(
+    r"#\s*repro-lint:\s*allow\[([^\]]*)\]\s*(.*)$")
+
+
+@dataclass
+class Suppression:
+    """One ``# repro-lint: allow[...]`` comment."""
+
+    line: int                 # the line the comment sits on
+    applies_to: int           # the line it suppresses findings on
+    rules: tuple[str, ...]
+    reason: str
+    used: set[str] = field(default_factory=set)  # rule ids it suppressed
+
+
+class SourceFile:
+    """A lint target: path bookkeeping + lazily shared parse products."""
+
+    def __init__(self, path: Path, package_dir: Path, display_base: Path) -> None:
+        self.path = path
+        #: Path relative to the linted package, posix ("search/api.py").
+        self.package_relpath = PurePosixPath(
+            path.relative_to(package_dir).as_posix())
+        #: Repo-relative display path ("src/repro/search/api.py").
+        self.display = path.relative_to(display_base).as_posix()
+        parts = self.package_relpath.parts
+        #: First-level package directory, "" for top-level modules.
+        self.zone = parts[0] if len(parts) > 1 else ""
+        self.text = path.read_text()
+        self.tree = ast.parse(self.text, filename=str(path))
+        self._parents: dict[ast.AST, ast.AST] | None = None
+        self._imports: dict[str, str] | None = None
+        self.suppressions = self._parse_suppressions()
+
+    # ------------------------------------------------------------------ #
+    # Parse products shared by the checkers
+    # ------------------------------------------------------------------ #
+    def parent(self, node: ast.AST) -> ast.AST | None:
+        """The AST parent of ``node`` (None for the module node)."""
+        if self._parents is None:
+            self._parents = {}
+            for outer in ast.walk(self.tree):
+                for child in ast.iter_child_nodes(outer):
+                    self._parents[child] = outer
+        return self._parents.get(node)
+
+    @property
+    def imports(self) -> dict[str, str]:
+        """Local name -> imported module/symbol dotted path.
+
+        ``import numpy as np`` maps ``np -> numpy``; ``from random import
+        choice`` maps ``choice -> random.choice``; ``import os`` maps
+        ``os -> os``.  Checkers use this to anchor dotted-name patterns to
+        the modules they actually target.
+        """
+        if self._imports is None:
+            table: dict[str, str] = {}
+            for node in ast.walk(self.tree):
+                if isinstance(node, ast.Import):
+                    for alias in node.names:
+                        if alias.asname:
+                            table[alias.asname] = alias.name
+                        else:
+                            root = alias.name.split(".")[0]
+                            table[root] = root
+                elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+                    for alias in node.names:
+                        if alias.name == "*":
+                            continue
+                        table[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+            self._imports = table
+        return self._imports
+
+    def dotted_name(self, node: ast.AST) -> str | None:
+        """The dotted source text of a Name/Attribute chain, import-resolved.
+
+        ``np.random.rand`` (with ``import numpy as np``) resolves to
+        ``numpy.random.rand``.  Chains rooted in anything but an *imported*
+        name resolve to ``None``: a local variable that happens to be
+        called ``time`` must not satisfy a ``time.time`` pattern.
+        """
+        parts: list[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name) or node.id not in self.imports:
+            return None
+        parts.append(self.imports[node.id])
+        return ".".join(reversed(parts))
+
+    # ------------------------------------------------------------------ #
+    # Suppressions
+    # ------------------------------------------------------------------ #
+    def _parse_suppressions(self) -> list[Suppression]:
+        suppressions: list[Suppression] = []
+        try:
+            tokens = list(tokenize.generate_tokens(
+                io.StringIO(self.text).readline))
+        except (tokenize.TokenError, IndentationError):  # pragma: no cover
+            return suppressions
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _SUPPRESSION_RE.search(token.string)
+            if match is None:
+                continue
+            line, column = token.start
+            rules = tuple(part.strip() for part in match.group(1).split(",")
+                          if part.strip())
+            reason = match.group(2).strip()
+            # A comment-only line shields the next line; an inline comment
+            # shields its own.
+            standalone = not token.line[:column].strip()
+            suppressions.append(Suppression(
+                line=line, applies_to=line + 1 if standalone else line,
+                rules=rules, reason=reason))
+        return suppressions
+
+    def suppression_for(self, rule_id: str, line: int) -> Suppression | None:
+        """The suppression covering ``rule_id`` at ``line``, if any."""
+        for suppression in self.suppressions:
+            if suppression.applies_to == line and rule_id in suppression.rules:
+                return suppression
+        return None

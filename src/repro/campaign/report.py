@@ -23,6 +23,7 @@ from typing import Any
 
 from repro.campaign.spec import CampaignSpec
 from repro.campaign.store import ResultStore
+from repro.utils.atomic import write_atomic
 from repro.utils.formatting import format_table
 from repro.utils.math_utils import geometric_mean
 
@@ -156,7 +157,7 @@ class CampaignReport:
     def save(self, path: str | Path) -> Path:
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(self.to_text())
+        write_atomic(path, self.to_text())
         return path
 
 

@@ -368,8 +368,8 @@ class CampaignScheduler:
                  payload: dict[str, Any] | None = None) -> None:
         # Pool runs hand back the worker's serialized payload; persist those
         # bytes as-is rather than re-serializing the JSON-round-tripped
-        # outcome object, which would lose fields the round trip drops
-        # (``num_candidates``) and break byte-identity with inline runs.
+        # outcome object, so byte-identity with inline runs never depends on
+        # the round trip being lossless.
         self.store.append(job.job_id,
                           outcome_to_dict(outcome) if payload is None
                           else payload)

@@ -25,6 +25,7 @@ from typing import Any, Mapping
 
 from repro.arch.config import HardwareConfig
 from repro.search.api import SearchBudget, get_searcher
+from repro.utils.atomic import write_atomic
 from repro.utils.serialization import (
     budget_from_dict,
     budget_to_dict,
@@ -212,7 +213,7 @@ class CampaignSpec:
     def save(self, path: str | Path) -> Path:
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+        write_atomic(path, json.dumps(self.to_dict(), indent=2) + "\n")
         return path
 
     @staticmethod

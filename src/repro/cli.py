@@ -309,6 +309,74 @@ def _run_serve(args: argparse.Namespace) -> int:
     return serve(config)
 
 
+def _run_lint(args: argparse.Namespace) -> int:
+    from repro.analysis.baseline import save_baseline
+    from repro.analysis.registry import get_checker, rule_catalog
+    from repro.analysis.reporters import render_json, render_text
+    from repro.analysis.runner import default_baseline_path, run_lint
+
+    if args.explain is not None:
+        try:
+            checker = get_checker(args.explain)
+        except KeyError:
+            print(f"repro.cli lint: error: unknown rule {args.explain!r} "
+                  "(see `repro.cli lint --rules` for the catalog)",
+                  file=sys.stderr)
+            return 2
+        zones = (", ".join(checker.zones) if checker.zones
+                 else "whole package")
+        print(f"{checker.rule_id}  [zones: {zones}]\n")
+        print(checker.explanation())
+        return 0
+
+    if args.rules is not None and not args.rules:
+        # Bare --rules lists the catalog (docstring first lines).
+        for rule_id, summary in rule_catalog():
+            print(f"{rule_id:<22} {summary}")
+        return 0
+
+    rules = list(args.rules) if args.rules else None
+    if args.update_baseline and rules is not None:
+        print("repro.cli lint: error: --update-baseline captures a full "
+              "run; it cannot be combined with a --rules subset",
+              file=sys.stderr)
+        return 2
+
+    try:
+        result = run_lint(
+            package_dir=args.package_dir,
+            rules=rules,
+            baseline_path=args.baseline,
+            use_baseline=not args.update_baseline,
+        )
+    except KeyError as error:
+        print(f"repro.cli lint: error: {error.args[0]}", file=sys.stderr)
+        return 2
+
+    if args.update_baseline:
+        from pathlib import Path
+
+        from repro.analysis.runner import default_package_dir
+
+        package_dir = (Path(args.package_dir) if args.package_dir
+                       else default_package_dir())
+        baseline_path = (Path(args.baseline) if args.baseline
+                         else default_baseline_path(package_dir.resolve()))
+        save_baseline(baseline_path, result.findings)
+        print(f"baseline updated: {len(result.findings)} finding(s) "
+              f"recorded in {baseline_path}")
+        return 0
+
+    counts = {"checked_files": result.checked_files,
+              "suppressed": result.suppressed,
+              "baselined": result.baselined}
+    if args.json:
+        sys.stdout.write(render_json(result.findings, **counts))
+    else:
+        print(render_text(result.findings, **counts))
+    return 0 if result.clean else 1
+
+
 def _build_parser() -> argparse.ArgumentParser:
     from repro.search.api import available_strategies
     from repro.utils.log import LOG_LEVELS
@@ -329,7 +397,7 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--log-level", choices=LOG_LEVELS, default="warning",
                         help=log_level_help)
     subparsers = parser.add_subparsers(dest="command", required=True,
-                                       metavar="{search,campaign,serve,list,all," +
+                                       metavar="{search,campaign,serve,lint,list,all," +
                                                ",".join(sorted(_EXPERIMENTS)) + "}")
 
     # Experiment subcommands keep the original calling convention:
@@ -437,6 +505,27 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="stream a step event every N samples "
                             "(default: 25)")
     _add_log_level(serve)
+
+    lint = subparsers.add_parser(
+        "lint", help="statically check the repo's own invariants "
+                     "(docs/lint.md)")
+    lint.add_argument("--rules", nargs="*", metavar="RULE", default=None,
+                      help="with no arguments: list the rule catalog; with "
+                           "rule ids: check only those rules")
+    lint.add_argument("--explain", metavar="RULE", default=None,
+                      help="print one rule's full documentation and exit")
+    lint.add_argument("--json", action="store_true",
+                      help="emit the machine-readable findings report")
+    lint.add_argument("--update-baseline", action="store_true",
+                      help="record the current full-run findings as the "
+                           "grandfathered baseline and exit 0")
+    lint.add_argument("--package-dir", metavar="DIR", default=None,
+                      help="package directory to lint (default: the "
+                           "installed repro package)")
+    lint.add_argument("--baseline", metavar="PATH", default=None,
+                      help="baseline file (default: lint-baseline.json at "
+                           "the repo root)")
+    _add_log_level(lint)
     return parser
 
 
@@ -453,6 +542,8 @@ def main(argv: list[str] | None = None) -> int:
             return _run_campaign_command(args)
         if args.command == "serve":
             return _run_serve(args)
+        if args.command == "lint":
+            return _run_lint(args)
         if args.command == "list":
             for name in sorted(_EXPERIMENTS):
                 print(f"{name:<6} {_DESCRIPTIONS[name]}")

@@ -13,6 +13,7 @@ harness code never touches strategy-specific searcher or result classes.
 from __future__ import annotations
 
 import csv
+import io
 import os
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -21,6 +22,7 @@ from typing import Any, Mapping, Sequence
 from repro.campaign import CampaignSpec, StrategyVariant, run_campaign
 from repro.eval.cache import EvaluationCache
 from repro.search.api import SearchBudget, SearchOutcome, optimize
+from repro.utils.atomic import write_atomic
 from repro.utils.formatting import format_table
 from repro.utils.rng import SeedLike
 
@@ -100,12 +102,13 @@ def default_output_dir() -> Path:
 
 
 def write_csv(path: Path, headers: Sequence[str], rows: Sequence[Sequence[object]]) -> None:
-    """Write a CSV file, creating parent directories as needed."""
+    """Atomically write a CSV file, creating parent directories as needed."""
     path.parent.mkdir(parents=True, exist_ok=True)
-    with open(path, "w", newline="") as handle:
-        writer = csv.writer(handle)
-        writer.writerow(headers)
-        writer.writerows(rows)
+    buffer = io.StringIO(newline="")
+    writer = csv.writer(buffer)
+    writer.writerow(headers)
+    writer.writerows(rows)
+    write_atomic(path, buffer.getvalue())
 
 
 @dataclass
@@ -137,5 +140,5 @@ class ExperimentOutput:
         csv_path = output_dir / f"{self.name}.csv"
         write_csv(csv_path, self.headers, self.rows)
         text_path = output_dir / f"{self.name}.txt"
-        text_path.write_text(self.to_text() + "\n")
+        write_atomic(text_path, self.to_text() + "\n")
         return csv_path

@@ -209,6 +209,19 @@ class SearchOutcome:
     #: through the JSON serialization, and the campaign layer re-runs
     #: interrupted jobs on resume instead of treating them as complete.
     interrupted: bool = False
+    #: How many candidates the search evaluated, as recorded at
+    #: serialization time.  Live outcomes leave this ``None`` (the count is
+    #: ``len(candidates)``); outcomes rebuilt from JSON — whose candidate
+    #: *objects* are deliberately not persisted — carry the original count
+    #: here so the round trip stays lossless (``num_candidates``).
+    serialized_candidate_count: int | None = None
+
+    @property
+    def num_candidates(self) -> int:
+        """Candidates evaluated, surviving the JSON round trip."""
+        if self.serialized_candidate_count is not None:
+            return self.serialized_candidate_count
+        return len(self.candidates)
 
     @property
     def best_edp(self) -> float:

@@ -174,6 +174,7 @@ class SearchService:
         self.layout.root.mkdir(parents=True, exist_ok=True)
         self.layout.cache_dir.mkdir(parents=True, exist_ok=True)
         self.metrics = ServiceMetrics()
+        # repro-lint: allow[determinism-clock] daemon start timestamp feeds uptime only, never a result payload
         self.started_at = time.time()
         self._lock = threading.RLock()
         self._cond = threading.Condition(self._lock)
@@ -391,6 +392,7 @@ class SearchService:
             "root": str(self.layout.root),
             "workers": self.config.n_workers,
             "queue": {"depth": depth, "limit": self.config.queue_limit},
+            # repro-lint: allow[determinism-clock] health endpoint uptime is operational metadata, not a result
             "uptime_seconds": time.time() - self.started_at,
         }
 
@@ -423,6 +425,7 @@ class SearchService:
                 job_id = self._pending.popleft()
                 record = self._registry[job_id]
                 record.state = STATE_RUNNING
+                # repro-lint: allow[determinism-clock] job lifecycle timestamp; excluded from served result payloads
                 record.started_at = time.time()
                 record.attempts += 1
             self.layout.save_record(record)
@@ -512,6 +515,7 @@ class SearchService:
         events = self._events_for(record.job_id)
         with self._lock:
             record.state = state
+            # repro-lint: allow[determinism-clock] job lifecycle timestamp; excluded from served result payloads
             record.finished_at = time.time()
             record.error = error
             record.result = result

@@ -227,6 +227,7 @@ class JobRecord:
     kind: str
     request: dict[str, Any]
     state: str = STATE_QUEUED
+    # repro-lint: allow[determinism-clock] submission timestamp for queue ordering display, not part of any result
     created_at: float = field(default_factory=time.time)
     started_at: float | None = None
     finished_at: float | None = None

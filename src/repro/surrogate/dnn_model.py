@@ -20,7 +20,7 @@ import numpy as np
 
 from repro.autodiff import Adam, Tensor, nn
 from repro.surrogate.dataset import LatencySample
-from repro.utils.rng import SeedLike
+from repro.utils.rng import SeedLike, make_rng
 
 
 DEFAULT_HIDDEN_SIZES: tuple[int, ...] = (16, 16, 16, 16, 16, 16, 16)
@@ -72,7 +72,11 @@ class LatencyPredictorDNN:
         if len(samples) < 2:
             raise ValueError("need at least two samples to train")
         settings = settings or TrainingSettings()
-        rng = np.random.default_rng(settings.seed if isinstance(settings.seed, int) else 0)
+        if not isinstance(settings.seed, (int, np.integer, np.random.Generator)):
+            raise TypeError(
+                "TrainingSettings.seed must be an int or numpy Generator for "
+                f"reproducible training, got {type(settings.seed).__name__}")
+        rng = make_rng(settings.seed)
         features = np.stack([s.features for s in samples])
         targets = self._targets(samples)
         features = self.scaler.fit_transform(features)

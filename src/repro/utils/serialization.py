@@ -28,6 +28,7 @@ from repro.arch.config import HardwareConfig
 from repro.mapping.mapping import Mapping
 from repro.search.api import CandidateDesign, SearchBudget, SearchOutcome, SearchTrace
 from repro.timeloop.model import NetworkPerformance
+from repro.utils.atomic import write_atomic
 
 
 def budget_to_dict(budget: SearchBudget) -> dict[str, Any]:
@@ -81,7 +82,7 @@ def save_design(path: str | Path, hardware: HardwareConfig, mappings: list[Mappi
     """Write a co-design point to ``path`` as JSON; returns the path."""
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(design_to_dict(hardware, mappings, metadata), indent=2))
+    write_atomic(path, json.dumps(design_to_dict(hardware, mappings, metadata), indent=2))
     return path
 
 
@@ -104,12 +105,13 @@ def outcome_to_dict(outcome: SearchOutcome) -> dict[str, Any]:
         "settings": outcome.settings,
         "wall_time_seconds": outcome.wall_time_seconds,
         "interrupted": outcome.interrupted,
-        "num_candidates": len(outcome.candidates),
+        "num_candidates": outcome.num_candidates,
         "best": {
             "hardware": hardware_to_dict(best.hardware),
             "mappings": [m.as_dict() for m in best.mappings],
             "total_latency": best.performance.total_latency,
             "total_energy": best.performance.total_energy,
+            # repro-lint: allow[serde-parity] derived: CandidateDesign.edp recomputes it from latency*energy
             "edp": best.edp,
         },
         "trace": outcome.trace.to_dict(),
@@ -121,7 +123,9 @@ def outcome_from_dict(payload: dict[str, Any]) -> SearchOutcome:
 
     Per-layer performance results and non-best candidates are not persisted;
     the restored outcome carries the best design's aggregate latency/energy
-    (``per_layer`` is empty) and an empty candidate list.
+    (``per_layer`` is empty) and an empty candidate list — but the *count*
+    of evaluated candidates survives via ``serialized_candidate_count``, so
+    ``outcome.num_candidates`` and re-serialization are lossless.
     """
     best_payload = payload["best"]
     performance = NetworkPerformance(
@@ -143,6 +147,7 @@ def outcome_from_dict(payload: dict[str, Any]) -> SearchOutcome:
         settings=dict(payload.get("settings", {})),
         network=payload.get("network", ""),
         interrupted=bool(payload.get("interrupted", False)),
+        serialized_candidate_count=int(payload.get("num_candidates", 0)),
     )
 
 
@@ -181,7 +186,7 @@ def save_outcome(path: str | Path, outcome: SearchOutcome) -> Path:
     """Write a unified search outcome to ``path`` as JSON; returns the path."""
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(outcome_to_dict(outcome), indent=2))
+    write_atomic(path, json.dumps(outcome_to_dict(outcome), indent=2))
     return path
 
 

@@ -329,3 +329,15 @@ class TestOutcomeSerialization:
 
         payload = json.dumps(outcome_to_dict(outcome))
         assert "ordering_strategy" in payload
+
+    def test_reserialization_is_lossless(self, outcome):
+        # Candidate *objects* are not persisted, but serialize -> rebuild ->
+        # serialize must reproduce the payload byte-for-byte — in particular
+        # num_candidates, which a rebuilt outcome carries via
+        # serialized_candidate_count rather than len(candidates).
+        payload = outcome_to_dict(outcome)
+        restored = outcome_from_dict(payload)
+        assert restored.candidates == []
+        assert restored.num_candidates == outcome.num_candidates
+        assert restored.num_candidates == payload["num_candidates"]
+        assert outcome_to_dict(restored) == payload
