@@ -29,7 +29,9 @@ from __future__ import annotations
 import multiprocessing
 import os
 import tempfile
+import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable
@@ -86,8 +88,15 @@ _WORKER_SPILL: dict[str, tuple[EvaluationCache, set[str]]] = {}
 #: are service features, workers without a channel behave exactly as before.
 _WORKER_CHANNEL: tuple | None = None
 
+#: Fault-injection hook armed in pool workers by :func:`install_worker_channel`
+#: when the service passes a fault plan.  ``None`` (the default) keeps the
+#: worker fault sites zero-cost; the campaign layer never imports the service
+#: package at module scope, so plain campaign runs stay service-free.
+_WORKER_FAULT: Callable[[str, str], None] | None = None
 
-def install_worker_channel(queue, stop_event) -> None:
+
+def install_worker_channel(queue, stop_event, fault_plan=None,
+                           fault_ledger=None) -> None:
     """Executor initializer: give this worker a progress/stop channel.
 
     ``queue`` is a ``multiprocessing`` queue the worker pushes
@@ -96,9 +105,19 @@ def install_worker_channel(queue, stop_event) -> None:
     at its next step — which the searchers' ``absorb_interrupt`` turns into a
     graceful best-so-far outcome (the SIGTERM drain path of the service
     daemon, without ever signalling worker processes).
+
+    ``fault_plan`` (a serialized ``repro.service.faults.FaultPlan`` dict) plus
+    ``fault_ledger`` (its shared on-disk fire ledger) arm deterministic fault
+    injection inside this worker — the import happens here, post-fork, so the
+    campaign layer has no module-level dependency on the service package.
     """
-    global _WORKER_CHANNEL
+    global _WORKER_CHANNEL, _WORKER_FAULT
     _WORKER_CHANNEL = (queue, stop_event)
+    if fault_plan is not None and fault_ledger is not None:
+        from repro.service import faults
+
+        faults.arm(faults.FaultPlan.from_dict(fault_plan), fault_ledger)
+        _WORKER_FAULT = faults.fire
 
 
 @dataclass(frozen=True)
@@ -107,20 +126,40 @@ class PoolProgress:
 
     ``tag`` identifies the submitting service job in the event stream;
     ``step_period`` rate-limits ``on_step`` events (every N samples; the
-    first sample and every ``on_best`` always stream).
+    first sample and every ``on_best`` always stream).  ``heartbeat_seconds``
+    paces liveness heartbeats for the daemon's hung-worker watchdog, and
+    ``cancel_path`` names a sentinel file whose appearance makes the search
+    raise ``KeyboardInterrupt`` at its next step — per-job cooperative
+    cancellation through the same best-so-far drain path the stop event uses
+    (a file, not a new multiprocessing primitive, so it can be created long
+    after the pool forked).
     """
 
     tag: str
     step_period: int = 25
+    heartbeat_seconds: float = 2.0
+    cancel_path: str | None = None
+
+
+#: How often (seconds) a worker re-checks the cancellation sentinel file.
+_CANCEL_POLL_SECONDS = 0.1
 
 
 class _ChannelProgressCallback(SearchCallback):
     """Streams search progress over the worker channel; honors the stop event."""
 
-    def __init__(self, progress: PoolProgress, queue, stop_event) -> None:
+    def __init__(self, progress: PoolProgress, queue, stop_event,
+                 cell: str = "") -> None:
         self.progress = progress
         self.queue = queue
         self.stop_event = stop_event
+        #: Campaign cell id — the deterministic key for worker fault sites.
+        self.cell = cell
+        self._cancel_path = (Path(progress.cancel_path)
+                             if progress.cancel_path else None)
+        now = time.monotonic()
+        self._next_beat = now + progress.heartbeat_seconds
+        self._next_cancel_check = now
 
     def _put(self, event: str, payload: dict) -> None:
         try:
@@ -131,6 +170,16 @@ class _ChannelProgressCallback(SearchCallback):
     def on_step(self, samples: int) -> None:
         if self.stop_event is not None and self.stop_event.is_set():
             raise KeyboardInterrupt("service drain requested")
+        now = time.monotonic()
+        if self._cancel_path is not None and now >= self._next_cancel_check:
+            self._next_cancel_check = now + _CANCEL_POLL_SECONDS
+            if self._cancel_path.exists():
+                raise KeyboardInterrupt("job cancellation requested")
+        if _WORKER_FAULT is not None:
+            _WORKER_FAULT("worker.step", f"{self.cell}@{samples}")
+        if now >= self._next_beat:
+            self._next_beat = now + max(0.1, self.progress.heartbeat_seconds)
+            self._put("hb", {"pid": os.getpid(), "samples": samples})
         if samples == 1 or samples % max(1, self.progress.step_period) == 0:
             self._put("step", {"samples": samples})
 
@@ -174,7 +223,10 @@ def _pool_run_job(spec_payload: dict, job_id: str, store_dir: str,
         queue, stop_event = channel
         queue.put(("job", progress.tag,
                    {"campaign_job": job_id, "pid": os.getpid()}))
-        callbacks = _ChannelProgressCallback(progress, queue, stop_event)
+        callbacks = _ChannelProgressCallback(progress, queue, stop_event,
+                                             cell=job_id)
+    if _WORKER_FAULT is not None:
+        _WORKER_FAULT("worker.cell", job_id)
     preloaded = len(cache)
     hits, misses = cache.stats.hits, cache.stats.misses
     try:
@@ -186,7 +238,7 @@ def _pool_run_job(spec_payload: dict, job_id: str, store_dir: str,
             seen.add(segment)  # our own entries are already in memory
         if channel is not None:
             queue.put(("stats", progress.tag,
-                       {"campaign_job": job_id,
+                       {"campaign_job": job_id, "pid": os.getpid(),
                         "hits": cache.stats.hits - hits,
                         "misses": cache.stats.misses - misses}))
     return {"job_id": job_id, "outcome": outcome_to_dict(outcome)}
@@ -273,6 +325,7 @@ class CampaignScheduler:
         cache: EvaluationCache | None = None,
         executor: ProcessPoolExecutor | None = None,
         progress: PoolProgress | None = None,
+        fault_hook: Callable[[str, str], None] | None = None,
     ) -> None:
         if n_workers is not None and n_workers < 1:
             raise ValueError(f"n_workers must be >= 1 or None, got {n_workers}")
@@ -293,6 +346,11 @@ class CampaignScheduler:
         #: effective when the pool was created with ``install_worker_channel``
         #: as its initializer).
         self.progress = progress
+        #: Optional parent-side fault-injection hook, ``(site, key) -> None``
+        #: (the service passes ``repro.service.faults.fire``).  Covers the
+        #: ``store.append`` site; worker-side sites arm through the executor
+        #: initializer instead.
+        self.fault_hook = fault_hook
 
     # ------------------------------------------------------------------ #
     def status(self) -> CampaignStatus:
@@ -370,6 +428,8 @@ class CampaignScheduler:
         # bytes as-is rather than re-serializing the JSON-round-tripped
         # outcome object, so byte-identity with inline runs never depends on
         # the round trip being lossless.
+        if self.fault_hook is not None:
+            self.fault_hook("store.append", job.job_id)
         self.store.append(job.job_id,
                           outcome_to_dict(outcome) if payload is None
                           else payload)
@@ -453,6 +513,15 @@ class CampaignScheduler:
                         # feasible design; nothing to persist, stop cleanly.
                         run.stopped = True
                         continue
+                    except BrokenProcessPool:
+                        # A worker died hard (SIGKILL, OOM) — this is
+                        # executor-level infrastructure failure, not a job
+                        # failure: the pool is permanently broken and every
+                        # outstanding future is lost.  Propagate so the owner
+                        # (the service daemon) can respawn the pool and retry;
+                        # results persisted before the crash stay persisted,
+                        # so the retry resumes bit-identically.
+                        raise
                     except Exception as error:  # noqa: BLE001 - job failure
                         # A deterministic job failure must not discard the
                         # other workers' results: record it, keep draining.

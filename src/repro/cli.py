@@ -291,8 +291,16 @@ def _run_campaign_command(args: argparse.Namespace) -> int:
 
 
 def _run_serve(args: argparse.Namespace) -> int:
-    from repro.service import ServiceConfig, serve
+    from repro.service import FaultPlan, ServiceConfig, serve
 
+    fault_plan = None
+    if args.fault_plan is not None:
+        try:
+            fault_plan = FaultPlan.load(args.fault_plan)
+        except (OSError, ValueError) as error:
+            print(f"repro.cli serve: error: cannot load fault plan "
+                  f"{args.fault_plan}: {error}", file=sys.stderr)
+            return 2
     try:
         config = ServiceConfig(
             root=args.root,
@@ -302,6 +310,14 @@ def _run_serve(args: argparse.Namespace) -> int:
             queue_limit=args.queue_limit,
             request_timeout=args.request_timeout,
             step_period=args.step_period,
+            tenant_quota=args.tenant_quota,
+            max_attempts=args.max_attempts,
+            watchdog_seconds=args.watchdog_seconds or None,
+            worker_heartbeat_seconds=args.worker_heartbeat_seconds,
+            job_ttl_seconds=args.job_ttl_seconds,
+            gc_interval_seconds=args.gc_interval_seconds,
+            compact_interval_seconds=args.compact_interval_seconds,
+            fault_plan=fault_plan,
         )
     except ValueError as error:
         print(f"repro.cli serve: error: {error}", file=sys.stderr)
@@ -504,6 +520,28 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--step-period", type=int, default=25,
                        help="stream a step event every N samples "
                             "(default: 25)")
+    serve.add_argument("--tenant-quota", type=int, default=None,
+                       help="max active (queued+running) jobs per tenant; "
+                            "submits beyond it get 429 (default: unlimited)")
+    serve.add_argument("--max-attempts", type=int, default=3,
+                       help="dispatch attempts per job before it is failed "
+                            "(worker crashes requeue; default: 3)")
+    serve.add_argument("--watchdog-seconds", type=float, default=60.0,
+                       help="kill a worker whose running cell goes silent "
+                            "this long; 0 disables (default: 60)")
+    serve.add_argument("--worker-heartbeat-seconds", type=float, default=2.0,
+                       help="worker liveness heartbeat period (default: 2)")
+    serve.add_argument("--job-ttl-seconds", type=float, default=None,
+                       help="expire terminal jobs (record + result store) "
+                            "after this long (default: keep forever)")
+    serve.add_argument("--gc-interval-seconds", type=float, default=30.0,
+                       help="TTL sweep period (default: 30)")
+    serve.add_argument("--compact-interval-seconds", type=float, default=None,
+                       help="compact the shared cache spill every N seconds "
+                            "(default: never)")
+    serve.add_argument("--fault-plan", default=None, metavar="PATH",
+                       help="arm a deterministic fault-injection plan "
+                            "(testing only; see docs/service.md)")
     _add_log_level(serve)
 
     lint = subparsers.add_parser(

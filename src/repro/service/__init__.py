@@ -1,7 +1,7 @@
 """Search-as-a-service: a job daemon serving searches and campaigns.
 
 See :mod:`repro.service.daemon` for the architecture overview and
-``docs/service.md`` for the HTTP API.
+``docs/service.md`` for the HTTP API and failure-mode catalogue.
 """
 
 from repro.service.client import Client, ServiceError
@@ -13,10 +13,20 @@ from repro.service.daemon import (
     serve,
     write_endpoint_file,
 )
+from repro.service.faults import (
+    FaultDrop,
+    FaultPlan,
+    FaultRule,
+    InjectedFault,
+)
 from repro.service.jobs import JobRecord, RequestError, ServiceLayout
 
 __all__ = [
     "Client",
+    "FaultDrop",
+    "FaultPlan",
+    "FaultRule",
+    "InjectedFault",
     "JobRecord",
     "RequestError",
     "SearchService",

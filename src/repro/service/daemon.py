@@ -26,6 +26,24 @@ Results are **byte-identical** to offline :func:`repro.optimize` runs with
 the same seed: ``GET /v1/jobs/<id>/result`` serves the canonical outcome
 JSON (wall-clock stripped), so clients can diff service output against local
 runs.
+
+The daemon is additionally hardened for hostile conditions (all of it
+exercised deterministically by ``repro.service.faults`` plans and
+``benchmarks/bench_chaos.py``):
+
+* worker **heartbeats + a watchdog**: a pool worker that goes silent
+  mid-cell is SIGKILLed, the broken pool is respawned, and the job requeues
+  (its store already holds every completed cell, so the retry resumes
+  bit-identically),
+* **per-tenant admission quotas and round-robin dispatch**, so one tenant's
+  campaign cannot starve other tenants' jobs,
+* ``DELETE /v1/jobs/<id>`` **cancellation** through a per-job sentinel file
+  driving the same cooperative best-so-far stop path the SIGTERM drain uses
+  (terminal state ``cancelled``),
+* submit **idempotency keys**, so a client retrying an ambiguous submit
+  never double-runs a job,
+* **TTL garbage collection** of terminal jobs plus periodic cache-spill
+  compaction on a timer.
 """
 
 from __future__ import annotations
@@ -33,12 +51,16 @@ from __future__ import annotations
 import json
 import multiprocessing
 import os
+import shutil
+import signal
 import socket
 import threading
 import time
 from collections import deque
+from collections.abc import Mapping
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import wait as futures_wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
@@ -51,8 +73,11 @@ from repro.campaign.scheduler import (
     PoolProgress,
     install_worker_channel,
 )
-from repro.campaign.store import ResultStore
+from repro.campaign.store import ResultStore, compact_cache_dir
+from repro.service import faults
+from repro.service.faults import FaultDrop, FaultPlan
 from repro.service.jobs import (
+    STATE_CANCELLED,
     STATE_DONE,
     STATE_FAILED,
     STATE_QUEUED,
@@ -62,9 +87,10 @@ from repro.service.jobs import (
     ServiceLayout,
     new_job_id,
     normalize_request,
+    validate_idempotency_key,
 )
 from repro.service.metrics import ServiceMetrics
-from repro.utils.atomic import write_json_atomic
+from repro.utils.atomic import write_atomic, write_json_atomic
 from repro.utils.log import get_logger
 from repro.utils.serialization import (
     canonical_outcome_json,
@@ -98,6 +124,28 @@ class ServiceConfig:
     step_period: int = 25
     #: SSE keep-alive comment period while a job is idle in the queue.
     heartbeat_seconds: float = 10.0
+    #: Per-tenant cap on active (queued + running) jobs; beyond it submits
+    #: get 429 + Retry-After.  ``None`` disables quotas.
+    tenant_quota: int | None = None
+    #: Dispatch attempts per job before it is failed for good — worker-pool
+    #: crashes and transient store I/O errors requeue up to this many tries.
+    max_attempts: int = 3
+    #: SIGKILL a pool worker that sends no heartbeat for this long while
+    #: inside a cell (hung/stalled worker detection).  ``None`` disables.
+    watchdog_seconds: float | None = 60.0
+    #: How often workers heartbeat while searching (drives the watchdog).
+    worker_heartbeat_seconds: float = 2.0
+    #: Delete terminal jobs (record + store) this long after they finished;
+    #: ``None`` keeps them forever.
+    job_ttl_seconds: float | None = None
+    #: GC sweep period (only relevant with a TTL or compaction interval).
+    gc_interval_seconds: float = 30.0
+    #: Compact the shared cache spill every this many seconds; ``None``
+    #: leaves compaction to the ``repro.cli campaign compact`` command.
+    compact_interval_seconds: float | None = None
+    #: Armed fault-injection plan (chaos testing only; ``None`` keeps every
+    #: fault site a no-op).
+    fault_plan: FaultPlan | None = None
 
     def __post_init__(self) -> None:
         self.root = Path(self.root)
@@ -105,6 +153,28 @@ class ServiceConfig:
             raise ValueError(f"n_workers must be >= 1, got {self.n_workers}")
         if self.queue_limit < 1:
             raise ValueError(f"queue_limit must be >= 1, got {self.queue_limit}")
+        if self.tenant_quota is not None and self.tenant_quota < 1:
+            raise ValueError(f"tenant_quota must be >= 1 or None, "
+                             f"got {self.tenant_quota}")
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, "
+                             f"got {self.max_attempts}")
+        if self.watchdog_seconds is not None and self.watchdog_seconds <= 0:
+            raise ValueError(f"watchdog_seconds must be > 0 or None, "
+                             f"got {self.watchdog_seconds}")
+        if self.worker_heartbeat_seconds <= 0:
+            raise ValueError(f"worker_heartbeat_seconds must be > 0, "
+                             f"got {self.worker_heartbeat_seconds}")
+        if self.job_ttl_seconds is not None and self.job_ttl_seconds < 0:
+            raise ValueError(f"job_ttl_seconds must be >= 0 or None, "
+                             f"got {self.job_ttl_seconds}")
+        if self.gc_interval_seconds <= 0:
+            raise ValueError(f"gc_interval_seconds must be > 0, "
+                             f"got {self.gc_interval_seconds}")
+        if self.compact_interval_seconds is not None \
+                and self.compact_interval_seconds <= 0:
+            raise ValueError(f"compact_interval_seconds must be > 0 or None, "
+                             f"got {self.compact_interval_seconds}")
 
 
 class ServiceRejection(Exception):
@@ -176,16 +246,39 @@ class SearchService:
         self.metrics = ServiceMetrics()
         # repro-lint: allow[determinism-clock] daemon start timestamp feeds uptime only, never a result payload
         self.started_at = time.time()
+        #: Identifies this daemon process in SSE event ids
+        #: (``<epoch>.<seq>``).  Event logs are in-memory, so sequence
+        #: numbers reset on restart; a client resuming with a
+        #: ``Last-Event-ID`` minted by a *previous* daemon must get a full
+        #: replay instead of waiting for sequence numbers that may never
+        #: come.
+        self.events_epoch = f"{os.getpid():x}-{int(self.started_at):x}"
         self._lock = threading.RLock()
         self._cond = threading.Condition(self._lock)
         self._registry: dict[str, JobRecord] = {}
-        self._pending: deque[str] = deque()
+        #: Per-tenant FIFO queues plus a rotating tenant cursor: dispatch is
+        #: round-robin *across tenants* (one tenant's campaign flood cannot
+        #: starve another tenant's single search), FIFO within each tenant.
+        self._queues: dict[str, deque[str]] = {}
+        self._rr: deque[str] = deque()
         self._events: dict[str, _JobEvents] = {}
+        #: Jobs whose cancellation was requested while running (the on-disk
+        #: sentinel file is authoritative; this mirrors it for lock-cheap
+        #: checks and survives only this process).
+        self._cancel_requested: set[str] = set()
+        #: ``(tenant, idempotency_key) -> job_id`` submit dedupe map,
+        #: rebuilt from the persisted records on recovery.
+        self._idempotency: dict[tuple[str, str], str] = {}
+        #: ``(job_tag, worker_pid) -> last monotonic heartbeat`` for workers
+        #: currently inside a cell; the watchdog kills stale entries.
+        self._liveness: dict[tuple[str, int], float] = {}
         self._draining = threading.Event()
         self._drained = threading.Event()
         self._dispatchers: list[threading.Thread] = []
         self._progress_stop = threading.Event()
         self._progress_thread: threading.Thread | None = None
+        self._watchdog_thread: threading.Thread | None = None
+        self._gc_thread: threading.Thread | None = None
         try:
             context = multiprocessing.get_context("fork")
         except ValueError:  # pragma: no cover - non-POSIX platforms
@@ -194,6 +287,9 @@ class SearchService:
         self._progress_queue = context.Queue()
         self._stop_event = context.Event()
         self._executor: ProcessPoolExecutor | None = None
+        self._pool_lock = threading.Lock()
+        self._pool_generation = 0
+        self._fault_hook: Callable[[str, str], None] | None = None
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -206,16 +302,10 @@ class SearchService:
         locks mid-acquire, so all forks happen while this is still a
         single-threaded process.
         """
-        self._executor = ProcessPoolExecutor(
-            max_workers=self.config.n_workers,
-            mp_context=self._mp_context,
-            initializer=install_worker_channel,
-            initargs=(self._progress_queue, self._stop_event),
-        )
-        # Occupy every slot with a short sleep so the executor forks its full
-        # complement of workers now instead of lazily from a dispatcher.
-        futures_wait([self._executor.submit(time.sleep, 0.2)
-                      for _ in range(self.config.n_workers)])
+        if self.config.fault_plan is not None:
+            faults.arm(self.config.fault_plan, self.layout.fault_ledger_dir)
+            self._fault_hook = faults.fire
+        self._executor = self._make_executor()
         self.recover()
         self._progress_thread = threading.Thread(
             target=self._progress_loop, name="svc-progress", daemon=True)
@@ -225,9 +315,72 @@ class SearchService:
                                       name=f"svc-dispatch-{index}", daemon=True)
             thread.start()
             self._dispatchers.append(thread)
+        if self.config.watchdog_seconds is not None:
+            self._watchdog_thread = threading.Thread(
+                target=self._watchdog_loop, name="svc-watchdog", daemon=True)
+            self._watchdog_thread.start()
+        if self.config.job_ttl_seconds is not None \
+                or self.config.compact_interval_seconds is not None:
+            self._gc_thread = threading.Thread(
+                target=self._gc_loop, name="svc-gc", daemon=True)
+            self._gc_thread.start()
         log.info("service started: root=%s workers=%d queue_limit=%d",
                  self.layout.root, self.config.n_workers,
                  self.config.queue_limit)
+
+    def _make_executor(self) -> ProcessPoolExecutor:
+        """Fork (and warm) a full worker pool wired to the shared channel.
+
+        Called at startup (pre-threads: the safe fork) and again on respawn
+        after a worker died hard.  A respawn forks a process that already
+        runs service threads — the classic fork-after-threads hazard — but
+        the children only re-exec the initializer and the worker loop over
+        multiprocessing primitives created back in ``__init__``, which is
+        the standard, practically-safe recovery for a broken
+        ``ProcessPoolExecutor`` (the alternative is failing every queued
+        job).
+        """
+        plan = self.config.fault_plan
+        executor = ProcessPoolExecutor(
+            max_workers=self.config.n_workers,
+            mp_context=self._mp_context,
+            initializer=install_worker_channel,
+            initargs=(self._progress_queue, self._stop_event,
+                      None if plan is None else plan.to_dict(),
+                      None if plan is None
+                      else str(self.layout.fault_ledger_dir)),
+        )
+        # Occupy every slot with a short sleep so the executor forks its full
+        # complement of workers now instead of lazily from a dispatcher.
+        futures_wait([executor.submit(time.sleep, 0.2)
+                      for _ in range(self.config.n_workers)])
+        return executor
+
+    # ------------------------------------------------------------------ #
+    def fault_fire(self, site: str, key: str = "") -> None:
+        """Hit a parent-side fault site (no-op unless a plan is armed)."""
+        if self._fault_hook is not None:
+            self._fault_hook(site, key)
+
+    def _pool_state(self) -> tuple[ProcessPoolExecutor | None, int]:
+        with self._pool_lock:
+            return self._executor, self._pool_generation
+
+    def _ensure_pool(self, generation: int) -> None:
+        """Respawn the shared pool unless someone already did (or draining)."""
+        with self._pool_lock:
+            if self._pool_generation != generation \
+                    or self._draining.is_set():
+                return
+            broken = self._executor
+            self._executor = self._make_executor()
+            self._pool_generation += 1
+            respawned = self._pool_generation
+        if broken is not None:
+            broken.shutdown(wait=False)
+        self.metrics.count("pool_respawns")
+        log.warning("service: worker pool respawned (generation %d)",
+                    respawned)
 
     def recover(self) -> None:
         """Re-register persisted jobs; re-enqueue the incomplete ones.
@@ -238,12 +391,25 @@ class SearchService:
         """
         for record in self.layout.load_records():
             self._registry[record.job_id] = record
-            if record.state in (STATE_DONE, STATE_FAILED):
+            if record.idempotency_key:
+                self._idempotency[(record.tenant, record.idempotency_key)] \
+                    = record.job_id
+            if record.terminal:
+                continue
+            if self.layout.cancel_path(record.tenant,
+                                       record.job_id).exists():
+                # Cancelled while the daemon was down (or between the
+                # cancel request and the crash): honor the sentinel now
+                # instead of resuming a job nobody wants.
+                log.info("service: honoring persisted cancellation of %s",
+                         record.job_id)
+                self._finish(record, STATE_CANCELLED)
                 continue
             resumed = record.state == STATE_RUNNING or record.attempts > 0
             record.state = STATE_QUEUED
             self.layout.save_record(record)
-            self._pending.append(record.job_id)
+            with self._lock:
+                self._enqueue_locked(record)
             self._events_for(record.job_id).emit(
                 "queued", {"job_id": record.job_id, "resumed": resumed})
             if resumed:
@@ -270,11 +436,15 @@ class SearchService:
         self._stop_event.set()
         for thread in self._dispatchers:
             thread.join()
-        if self._executor is not None:
-            self._executor.shutdown(wait=True)
+        with self._pool_lock:
+            executor = self._executor
+        if executor is not None:
+            executor.shutdown(wait=True)
         self._progress_stop.set()
-        if self._progress_thread is not None:
-            self._progress_thread.join()
+        for thread in (self._progress_thread, self._watchdog_thread,
+                       self._gc_thread):
+            if thread is not None:
+                thread.join()
         with self._lock:
             events = list(self._events.values())
         for log_ in events:
@@ -290,32 +460,100 @@ class SearchService:
     # Client-facing operations (HTTP handlers call these)
     # ------------------------------------------------------------------ #
     def submit(self, payload: Any) -> JobRecord:
-        """Validate, persist and enqueue one job; raise on rejection."""
+        """Validate, persist and enqueue one job; raise on rejection.
+
+        With an ``idempotency_key`` in the body, a retried submit whose
+        first attempt actually landed returns the original record instead
+        of enqueueing a duplicate — safe submit retries over a lossy
+        connection.
+        """
         if self._draining.is_set():
             self.metrics.count("jobs_rejected_draining")
             raise ServiceRejection(503, "service is draining")
         try:
+            key = (validate_idempotency_key(payload.get("idempotency_key"))
+                   if isinstance(payload, Mapping) else None)
             tenant, kind, request = normalize_request(payload)
         except RequestError:
             self.metrics.count("jobs_rejected_invalid")
             raise
         with self._cond:
-            if len(self._pending) >= self.config.queue_limit:
+            if key is not None:
+                existing_id = self._idempotency.get((tenant, key))
+                existing = (self._registry.get(existing_id)
+                            if existing_id is not None else None)
+                if existing is not None:
+                    self.metrics.count("jobs_deduplicated")
+                    log.info("service: submit dedupe for tenant %s key %s "
+                             "-> %s", tenant, key, existing.job_id)
+                    return existing
+            if self._queue_depth_locked() >= self.config.queue_limit:
                 self.metrics.count("jobs_rejected_full")
                 raise ServiceRejection(
                     429, f"queue is full ({self.config.queue_limit} jobs)",
                     retry_after=1.0)
+            quota = self.config.tenant_quota
+            if quota is not None:
+                active = sum(1 for r in self._registry.values()
+                             if r.tenant == tenant
+                             and r.state in (STATE_QUEUED, STATE_RUNNING))
+                if active >= quota:
+                    self.metrics.count("jobs_rejected_quota")
+                    raise ServiceRejection(
+                        429, f"tenant {tenant} is at its quota of {quota} "
+                             "active jobs", retry_after=2.0)
             record = JobRecord(job_id=new_job_id(), tenant=tenant,
-                               kind=kind, request=request)
+                               kind=kind, request=request,
+                               idempotency_key=key)
             self.layout.save_record(record)
             self._registry[record.job_id] = record
-            self._pending.append(record.job_id)
+            if key is not None:
+                self._idempotency[(tenant, key)] = record.job_id
+            self._enqueue_locked(record)
             events = self._events_for(record.job_id)
             self._cond.notify()
         events.emit("queued", {"job_id": record.job_id, "resumed": False})
         self.metrics.count("jobs_submitted")
         log.info("service: accepted %s job %s (tenant %s)",
                  kind, record.job_id, tenant)
+        return record
+
+    def cancel(self, job_id: str) -> JobRecord:
+        """Cancel a job (``DELETE /v1/jobs/<id>``), cooperatively.
+
+        A queued job is cancelled immediately.  A running job gets the
+        on-disk sentinel its workers poll: at their next step they raise,
+        the scheduler persists flagged best-so-far outcomes through the
+        same path the drain uses, and the job finishes as ``cancelled``.
+        Terminal jobs are a 409 (cancellation is cooperative — a job that
+        completes before its workers notice the sentinel stays ``done``).
+        """
+        with self._cond:
+            record = self._registry.get(job_id)
+            if record is None:
+                raise KeyError(job_id)
+            if record.terminal:
+                raise ServiceRejection(
+                    409, f"job {job_id} is already {record.state}")
+            queued_now = record.state == STATE_QUEUED
+            if queued_now:
+                queue = self._queues.get(record.tenant)
+                if queue is not None:
+                    try:
+                        queue.remove(job_id)
+                    except ValueError:  # pragma: no cover - resumed races
+                        pass
+            self._cancel_requested.add(job_id)
+        sentinel = self.layout.cancel_path(record.tenant, job_id)
+        sentinel.parent.mkdir(parents=True, exist_ok=True)
+        write_atomic(sentinel, "cancel requested\n")
+        if queued_now:
+            self._finish(record, STATE_CANCELLED)
+            log.info("service: cancelled queued job %s", job_id)
+        else:
+            self._events_for(job_id).emit("cancelling", {"job_id": job_id})
+            log.info("service: cancellation requested for running job %s",
+                     job_id)
         return record
 
     def job(self, job_id: str) -> JobRecord:
@@ -341,9 +579,11 @@ class SearchService:
             if record is None:
                 raise KeyError(job_id)
             events = self._events_for(job_id)
-        if record.state in (STATE_DONE, STATE_FAILED) and not events.closed:
+        if record.terminal and not events.closed:
             if record.state == STATE_DONE:
                 events.emit("done", {"job_id": job_id, "result": record.result})
+            elif record.state == STATE_CANCELLED:
+                events.emit("cancelled", {"job_id": job_id})
             else:
                 events.emit("failed", {"job_id": job_id, "error": record.error})
             events.close()
@@ -384,21 +624,24 @@ class SearchService:
         import repro  # runtime import: repro/__init__ imports this module
 
         with self._lock:
-            depth = len(self._pending)
+            depth = self._queue_depth_locked()
+            tenants = {tenant: len(queue)
+                       for tenant, queue in self._queues.items() if queue}
         return {
             "status": "draining" if self.draining else "ok",
             "version": repro.__version__,
             "pid": os.getpid(),
             "root": str(self.layout.root),
             "workers": self.config.n_workers,
-            "queue": {"depth": depth, "limit": self.config.queue_limit},
+            "queue": {"depth": depth, "limit": self.config.queue_limit,
+                      "tenants": tenants},
             # repro-lint: allow[determinism-clock] health endpoint uptime is operational metadata, not a result
             "uptime_seconds": time.time() - self.started_at,
         }
 
     def metrics_payload(self) -> dict:
         with self._lock:
-            queued = len(self._pending)
+            queued = self._queue_depth_locked()
             running = sum(1 for r in self._registry.values()
                           if r.state == STATE_RUNNING)
         return self.metrics.snapshot(queued=queued, running=running)
@@ -413,43 +656,81 @@ class SearchService:
                 events = self._events[job_id] = _JobEvents()
             return events
 
+    def _enqueue_locked(self, record: JobRecord) -> None:
+        queue = self._queues.get(record.tenant)
+        if queue is None:
+            queue = self._queues[record.tenant] = deque()
+            self._rr.append(record.tenant)
+        queue.append(record.job_id)
+
+    def _next_job_locked(self) -> JobRecord | None:
+        """Round-robin across tenants, FIFO within each tenant."""
+        for _ in range(len(self._rr)):
+            tenant = self._rr[0]
+            self._rr.rotate(-1)
+            queue = self._queues.get(tenant)
+            if queue:
+                return self._registry[queue.popleft()]
+        return None
+
+    def _queue_depth_locked(self) -> int:
+        return sum(len(queue) for queue in self._queues.values())
+
     def _dispatch_loop(self) -> None:
         while True:
             with self._cond:
-                while not self._pending and not self._draining.is_set():
+                record = None
+                while not self._draining.is_set():
+                    record = self._next_job_locked()
+                    if record is not None:
+                        break
                     self._cond.wait(0.5)
-                if self._draining.is_set():
-                    # Leave still-queued jobs for the next daemon: they are
-                    # already persisted as queued.
+                if record is None:
+                    # Draining: leave still-queued jobs for the next daemon,
+                    # they are already persisted as queued.
                     return
-                job_id = self._pending.popleft()
-                record = self._registry[job_id]
                 record.state = STATE_RUNNING
                 # repro-lint: allow[determinism-clock] job lifecycle timestamp; excluded from served result payloads
                 record.started_at = time.time()
                 record.attempts += 1
-            self.layout.save_record(record)
-            self._events_for(job_id).emit(
-                "running", {"job_id": job_id, "attempt": record.attempts})
+            # Everything per-job stays inside the try: a dispatcher thread
+            # that dies takes its share of the throughput (and any job it
+            # would ever have run) with it, so no per-job error may escape.
             try:
+                self.layout.save_record(record)
+                self.fault_fire("daemon.dispatch",
+                                f"{record.tenant}:{record.kind}")
+                self._events_for(record.job_id).emit(
+                    "running",
+                    {"job_id": record.job_id, "attempt": record.attempts})
                 self._execute(record)
-            except BaseException as error:  # noqa: BLE001 - keep dispatching
+            except Exception as error:  # noqa: BLE001 - keep dispatching
                 log.error("service: job %s crashed the dispatcher: %r",
-                          job_id, error)
-                self._finish(record, STATE_FAILED, error=repr(error))
+                          record.job_id, error)
+                try:
+                    self._finish(record, STATE_FAILED, error=repr(error))
+                except Exception:  # noqa: BLE001 - job dir may be gone
+                    log.exception("service: could not record job %s as "
+                                  "failed", record.job_id)
 
     def _execute(self, record: JobRecord) -> None:
         events = self._events_for(record.job_id)
         started = time.monotonic()
+        executor, generation = self._pool_state()
         try:
             spec = record.spec()
             store = ResultStore(
                 self.layout.store_dir(record.tenant, record.job_id),
                 spec=spec, cache_dir=self.layout.cache_dir)
             scheduler = CampaignScheduler(
-                spec, store, executor=self._executor,
-                progress=PoolProgress(tag=record.job_id,
-                                      step_period=self.config.step_period))
+                spec, store, executor=executor,
+                progress=PoolProgress(
+                    tag=record.job_id,
+                    step_period=self.config.step_period,
+                    heartbeat_seconds=self.config.worker_heartbeat_seconds,
+                    cancel_path=str(self.layout.cancel_path(
+                        record.tenant, record.job_id))),
+                fault_hook=self._fault_hook)
 
             def on_cell(job, outcome) -> None:
                 events.emit("cell_done", {
@@ -460,11 +741,42 @@ class SearchService:
                 })
 
             run = scheduler.run(on_job_done=on_cell)
+        except BrokenProcessPool as error:
+            # A worker died hard (SIGKILL by the watchdog, OOM, a crash):
+            # the pool is permanently broken.  Respawn it and requeue the
+            # job — completed cells are already persisted, so the retry
+            # resumes from the store and stays bit-identical.
+            log.warning("service: job %s lost its worker pool (%r)",
+                        record.job_id, error)
+            self._forget_liveness(record.job_id)
+            self._ensure_pool(generation)
+            self._requeue_or_fail(record, f"worker pool broke: {error!r}")
+            return
+        except OSError as error:
+            # Transient store I/O (disk full, partial write): the append
+            # failed *before* the result line landed, so a retry re-runs
+            # only the unpersisted cells.
+            log.warning("service: job %s hit an I/O error (%r)",
+                        record.job_id, error)
+            self._forget_liveness(record.job_id)
+            self._requeue_or_fail(record, f"store I/O error: {error!r}")
+            return
         except Exception as error:  # noqa: BLE001 - job-level failure
             log.warning("service: job %s failed: %r", record.job_id, error)
+            self._forget_liveness(record.job_id)
             self._finish(record, STATE_FAILED, error=repr(error))
             return
+        self._forget_liveness(record.job_id)
         if run.was_interrupted:
+            if self._cancel_pending(record):
+                # The interrupt came from the cancellation sentinel, not the
+                # drain: flagged best-so-far cells are persisted, the job
+                # ends as cancelled.
+                self._finish(record, STATE_CANCELLED)
+                log.info("service: job %s cancelled "
+                         "(%d best-so-far cells persisted)",
+                         record.job_id, len(run.interrupted))
+                return
             # Drain: flagged best-so-far cells are persisted in the store;
             # the record goes back to queued for the next daemon to resume.
             # As in _finish, the record is re-queued and persisted before the
@@ -519,14 +831,133 @@ class SearchService:
             record.finished_at = time.time()
             record.error = error
             record.result = result
+            self._cancel_requested.discard(record.job_id)
         self.layout.save_record(record)
         if state == STATE_DONE:
             self.metrics.count("jobs_done")
             events.emit("done", {"job_id": record.job_id, "result": result})
+        elif state == STATE_CANCELLED:
+            self.metrics.count("jobs_cancelled")
+            events.emit("cancelled", {"job_id": record.job_id})
         else:
             self.metrics.count("jobs_failed")
             events.emit("failed", {"job_id": record.job_id, "error": error})
         events.close()
+
+    def _cancel_pending(self, record: JobRecord) -> bool:
+        with self._lock:
+            if record.job_id in self._cancel_requested:
+                return True
+        # The sentinel is authoritative (covers a cancel issued against the
+        # previous daemon just before it crashed).
+        return self.layout.cancel_path(record.tenant,
+                                       record.job_id).exists()
+
+    def _requeue_or_fail(self, record: JobRecord, reason: str) -> None:
+        """Retry a job after an infrastructure failure, up to max_attempts."""
+        if self._cancel_pending(record):
+            self._finish(record, STATE_CANCELLED)
+            return
+        if record.attempts >= self.config.max_attempts:
+            self._finish(record, STATE_FAILED,
+                         error=f"{reason} (giving up after "
+                               f"{record.attempts} attempts)")
+            return
+        # Persist the queued state *before* the record becomes poppable: a
+        # dispatcher woken by the notify would otherwise race this thread's
+        # save_record with its own running-state save of the same job.
+        with self._lock:
+            record.state = STATE_QUEUED
+        self.layout.save_record(record)
+        with self._cond:
+            if not self._draining.is_set():
+                self._enqueue_locked(record)
+            self._cond.notify()
+        self.metrics.count("jobs_retried")
+        self._events_for(record.job_id).emit(
+            "retrying", {"job_id": record.job_id,
+                         "attempt": record.attempts, "reason": reason})
+        log.info("service: job %s requeued after attempt %d (%s)",
+                 record.job_id, record.attempts, reason)
+
+    def _forget_liveness(self, tag: str) -> None:
+        with self._lock:
+            for key in [k for k in self._liveness if k[0] == tag]:
+                self._liveness.pop(key, None)
+
+    def _watchdog_loop(self) -> None:
+        """SIGKILL workers that stopped heartbeating mid-cell.
+
+        The kill surfaces as ``BrokenProcessPool`` in the dispatcher driving
+        that job, which respawns the pool and requeues — turning a silent
+        hang into the same recovery path as a worker crash.
+        """
+        timeout = self.config.watchdog_seconds
+        interval = max(0.2, min(1.0, timeout / 4.0))
+        while not self._progress_stop.wait(interval):
+            now = time.monotonic()
+            with self._lock:
+                stale = [key for key, beat in self._liveness.items()
+                         if now - beat > timeout]
+                for key in stale:
+                    self._liveness.pop(key, None)
+            for tag, pid in stale:
+                log.warning("service: worker %d on job %s silent for over "
+                            "%.1fs; killing it", pid, tag, timeout)
+                self.metrics.count("workers_killed")
+                try:
+                    os.kill(pid, signal.SIGKILL)
+                except (ProcessLookupError, PermissionError):
+                    pass  # already gone
+
+    def _gc_loop(self) -> None:
+        """Expire terminal jobs past their TTL; compact the spill on a timer."""
+        compact_every = self.config.compact_interval_seconds
+        next_compact = (time.monotonic() + compact_every
+                        if compact_every is not None else None)
+        while not self._progress_stop.wait(self.config.gc_interval_seconds):
+            try:
+                self._collect_expired()
+            except Exception as error:  # noqa: BLE001 - keep sweeping
+                log.warning("service: GC sweep failed: %r", error)
+            if next_compact is not None \
+                    and time.monotonic() >= next_compact:
+                next_compact = time.monotonic() + compact_every
+                try:
+                    stats = compact_cache_dir(self.layout.cache_dir)
+                    self.metrics.count("spill_compactions")
+                    log.info("service: spill compacted (%s)", stats)
+                except Exception as error:  # noqa: BLE001 - keep sweeping
+                    log.warning("service: spill compaction failed: %r", error)
+
+    def _collect_expired(self) -> None:
+        ttl = self.config.job_ttl_seconds
+        if ttl is None:
+            return
+        # repro-lint: allow[determinism-clock] TTL expiry compares persisted lifecycle timestamps, never result data
+        now = time.time()
+        expired: list[tuple[JobRecord, _JobEvents | None]] = []
+        with self._lock:
+            for record in list(self._registry.values()):
+                if not record.terminal:
+                    continue
+                finished = record.finished_at or record.created_at
+                if now - finished < ttl:
+                    continue
+                self._registry.pop(record.job_id, None)
+                if record.idempotency_key:
+                    self._idempotency.pop(
+                        (record.tenant, record.idempotency_key), None)
+                expired.append((record,
+                                self._events.pop(record.job_id, None)))
+        for record, events in expired:
+            if events is not None:
+                events.close()
+            shutil.rmtree(self.layout.job_dir(record.tenant, record.job_id),
+                          ignore_errors=True)
+            self.metrics.count("jobs_expired")
+            log.info("service: expired %s job %s (%s, ttl %.0fs)",
+                     record.state, record.job_id, record.tenant, ttl)
 
     def _progress_loop(self) -> None:
         """Translate worker-channel tuples into SSE events and metrics."""
@@ -541,10 +972,21 @@ class SearchService:
                 event, tag, payload = item
             except (TypeError, ValueError):  # pragma: no cover - bad frame
                 continue
+            pid = payload.get("pid") if isinstance(payload, dict) else None
             if event == "stats":
                 self.metrics.add_cache(int(payload.get("hits", 0)),
                                        int(payload.get("misses", 0)))
+                if pid is not None:
+                    # Cell finished: the worker is idle again, stop
+                    # watching it (idle workers legitimately go silent).
+                    with self._lock:
+                        self._liveness.pop((tag, int(pid)), None)
                 continue
+            if event in ("job", "hb") and pid is not None:
+                with self._lock:
+                    self._liveness[(tag, int(pid))] = time.monotonic()
+            if event == "hb":
+                continue  # liveness bookkeeping only, not a client event
             name = "cell_started" if event == "job" else event
             with self._lock:
                 events = self._events.get(tag)
@@ -627,6 +1069,25 @@ def _build_handler(service: SearchService) -> type[BaseHTTPRequestHandler]:
             except ServiceRejection as rejection:
                 self._send_rejection(rejection)
 
+        def do_DELETE(self) -> None:  # noqa: N802 - http.server API
+            path = urlsplit_path(self.path)
+            if not path.startswith("/v1/jobs/"):
+                self._send_error_json(404, f"no route for {path}")
+                return
+            job_id = path[len("/v1/jobs/"):]
+            if not job_id or "/" in job_id:
+                self._send_error_json(404, f"no route for {path}")
+                return
+            try:
+                record = service.cancel(job_id)
+            except KeyError:
+                self._send_error_json(404, f"unknown job {job_id}")
+                return
+            except ServiceRejection as rejection:
+                self._send_rejection(rejection)
+                return
+            self._send_json(202, record.summary())
+
         def do_POST(self) -> None:  # noqa: N802 - http.server API
             if urlsplit_path(self.path) != "/v1/jobs":
                 self._send_error_json(404, f"no route for {self.path}")
@@ -670,16 +1131,30 @@ def _build_handler(service: SearchService) -> type[BaseHTTPRequestHandler]:
             seq = 0
             last_id = self.headers.get("Last-Event-ID")
             if last_id is not None:
-                try:
-                    seq = int(last_id) + 1
-                except ValueError:
-                    pass
+                # Ids are "<epoch>.<seq>"; a bare integer (same-daemon
+                # shorthand) is honored too.  An id from another daemon's
+                # epoch means the in-memory log restarted — replay from 0.
+                epoch, _, num = last_id.rpartition(".")
+                if not epoch or epoch == service.events_epoch:
+                    try:
+                        seq = int(num) + 1
+                    except ValueError:
+                        pass
             try:
                 while True:
                     batch, closed = events.since(
                         seq, timeout=service.config.heartbeat_seconds)
                     for seq_i, name, payload in batch:
-                        frame = (f"id: {seq_i}\nevent: {name}\n"
+                        try:
+                            service.fault_fire("sse.frame",
+                                               f"{job_id}:{name}:{seq_i}")
+                        except FaultDrop:
+                            # Injected connection drop: close the stream
+                            # abruptly, mid-job — the client reconnects
+                            # with Last-Event-ID and replays from here.
+                            return
+                        frame = (f"id: {service.events_epoch}.{seq_i}\n"
+                                 f"event: {name}\n"
                                  f"data: {json.dumps(payload, sort_keys=True)}"
                                  "\n\n")
                         self.wfile.write(frame.encode())

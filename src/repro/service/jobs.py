@@ -48,12 +48,15 @@ from repro.utils.serialization import (
 from repro.workloads.networks import NETWORK_BUILDERS
 
 #: Job lifecycle states.  ``queued`` and ``running`` jobs are re-enqueued by
-#: a restarted daemon; ``done`` and ``failed`` are terminal.
+#: a restarted daemon; ``done``, ``failed`` and ``cancelled`` are terminal.
 STATE_QUEUED = "queued"
 STATE_RUNNING = "running"
 STATE_DONE = "done"
 STATE_FAILED = "failed"
-JOB_STATES = (STATE_QUEUED, STATE_RUNNING, STATE_DONE, STATE_FAILED)
+STATE_CANCELLED = "cancelled"
+JOB_STATES = (STATE_QUEUED, STATE_RUNNING, STATE_DONE, STATE_FAILED,
+              STATE_CANCELLED)
+TERMINAL_STATES = (STATE_DONE, STATE_FAILED, STATE_CANCELLED)
 
 JOB_KINDS = ("search", "campaign")
 
@@ -61,8 +64,13 @@ DEFAULT_TENANT = "default"
 
 RECORD_NAME = "job.json"
 STORE_DIR_NAME = "store"
+#: Cancellation sentinel inside a job dir: its appearance makes pool workers
+#: raise ``KeyboardInterrupt`` at their next step (see
+#: ``campaign.scheduler.PoolProgress.cancel_path``).
+CANCEL_NAME = "cancel"
 
 _TENANT_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9_.-]{0,63}$")
+_IDEMPOTENCY_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9_.:-]{0,127}$")
 
 
 class RequestError(ValueError):
@@ -78,6 +86,22 @@ def validate_tenant(tenant: Any) -> str:
             f"invalid tenant {tenant!r}: expected 1-64 characters of "
             "[A-Za-z0-9_.-] starting with an alphanumeric")
     return tenant
+
+
+def validate_idempotency_key(key: Any) -> str | None:
+    """An optional client-chosen submit dedupe key (``None`` when omitted).
+
+    The key is transport-level: it deduplicates ambiguous submit retries but
+    is *not* part of the normalized request, so it never influences the job's
+    campaign spec or results.
+    """
+    if key is None:
+        return None
+    if not isinstance(key, str) or not _IDEMPOTENCY_RE.match(key):
+        raise RequestError(
+            f"invalid idempotency_key {key!r}: expected 1-128 characters of "
+            "[A-Za-z0-9_.:-] starting with an alphanumeric")
+    return key
 
 
 def new_job_id() -> str:
@@ -116,7 +140,8 @@ def normalize_search_request(payload: Mapping[str, Any]) -> dict[str, Any]:
     from it.
     """
     unknown = set(payload) - {"tenant", "kind", "network", "strategy", "seed",
-                              "budget", "settings", "hardware"}
+                              "budget", "settings", "hardware",
+                              "idempotency_key"}
     if unknown:
         raise RequestError(f"unknown request fields {sorted(unknown)}")
     network = payload.get("network")
@@ -156,7 +181,7 @@ def _raise_hardware(value: Any) -> None:
 
 def normalize_campaign_request(payload: Mapping[str, Any]) -> dict[str, Any]:
     """Validate and canonicalize a ``kind="campaign"`` request body."""
-    unknown = set(payload) - {"tenant", "kind", "spec"}
+    unknown = set(payload) - {"tenant", "kind", "spec", "idempotency_key"}
     if unknown:
         raise RequestError(f"unknown request fields {sorted(unknown)}")
     spec_payload = payload.get("spec")
@@ -237,6 +262,13 @@ class JobRecord:
     #: searches, cell count for campaigns); the full outcome lives in the
     #: job's result store.
     result: dict[str, Any] | None = None
+    #: Client-supplied submit dedupe key (transport-level; not part of the
+    #: normalized request, never influences the spec or the results).
+    idempotency_key: str | None = None
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
 
     # ------------------------------------------------------------------ #
     def to_dict(self) -> dict[str, Any]:
@@ -252,6 +284,7 @@ class JobRecord:
             "error": self.error,
             "attempts": self.attempts,
             "result": self.result,
+            "idempotency_key": self.idempotency_key,
         }
 
     @staticmethod
@@ -271,12 +304,13 @@ class JobRecord:
             error=payload.get("error"),
             attempts=int(payload.get("attempts", 0)),
             result=payload.get("result"),
+            idempotency_key=payload.get("idempotency_key"),
         )
 
     def summary(self) -> dict[str, Any]:
         """The API view of this record (what ``GET /v1/jobs/<id>`` returns)."""
         payload = self.to_dict()
-        payload["terminal"] = self.state in (STATE_DONE, STATE_FAILED)
+        payload["terminal"] = self.terminal
         return payload
 
     def spec(self) -> CampaignSpec:
@@ -312,6 +346,14 @@ class ServiceLayout:
 
     def store_dir(self, tenant: str, job_id: str) -> Path:
         return self.job_dir(tenant, job_id) / STORE_DIR_NAME
+
+    def cancel_path(self, tenant: str, job_id: str) -> Path:
+        return self.job_dir(tenant, job_id) / CANCEL_NAME
+
+    @property
+    def fault_ledger_dir(self) -> Path:
+        """The fault-injection fire ledger (shared by daemon + workers)."""
+        return self.root / "fault-ledger"
 
     # ------------------------------------------------------------------ #
     def save_record(self, record: JobRecord) -> None:

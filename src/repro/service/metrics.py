@@ -39,10 +39,18 @@ class ServiceMetrics:
         self.jobs_rejected_full = 0
         self.jobs_rejected_draining = 0
         self.jobs_rejected_invalid = 0
+        self.jobs_rejected_quota = 0
         self.jobs_done = 0
         self.jobs_failed = 0
         self.jobs_interrupted = 0
         self.jobs_resumed = 0
+        self.jobs_cancelled = 0
+        self.jobs_retried = 0
+        self.jobs_deduplicated = 0
+        self.jobs_expired = 0
+        self.workers_killed = 0
+        self.pool_respawns = 0
+        self.spill_compactions = 0
         self.cache_hits = 0
         self.cache_misses = 0
         self._latencies: deque[float] = deque(maxlen=self.LATENCY_WINDOW)
@@ -76,9 +84,19 @@ class ServiceMetrics:
                     "failed": self.jobs_failed,
                     "interrupted": self.jobs_interrupted,
                     "resumed": self.jobs_resumed,
+                    "cancelled": self.jobs_cancelled,
+                    "retried": self.jobs_retried,
+                    "deduplicated": self.jobs_deduplicated,
+                    "expired": self.jobs_expired,
                     "rejected_full": self.jobs_rejected_full,
                     "rejected_draining": self.jobs_rejected_draining,
                     "rejected_invalid": self.jobs_rejected_invalid,
+                    "rejected_quota": self.jobs_rejected_quota,
+                },
+                "recovery": {
+                    "workers_killed": self.workers_killed,
+                    "pool_respawns": self.pool_respawns,
+                    "spill_compactions": self.spill_compactions,
                 },
                 "cache": {
                     "hits": self.cache_hits,

@@ -13,19 +13,35 @@ from __future__ import annotations
 
 import json
 import os
+import tempfile
 from pathlib import Path
 from typing import Any
 
 
 def write_atomic(path: str | Path, text: str) -> Path:
-    """Atomically replace ``path`` with ``text`` (temp + fsync + rename)."""
+    """Atomically replace ``path`` with ``text`` (temp + fsync + rename).
+
+    The temporary sibling gets a unique name (``mkstemp``), so concurrent
+    writers of the same target cannot trip over each other's temp file —
+    the two renames serialize and the last complete write wins, which is
+    exactly the semantics readers of an atomically-replaced file expect.
+    """
     path = Path(path)
-    temp = path.with_name(path.name + ".tmp")
-    with open(temp, "w") as handle:
-        handle.write(text)
-        handle.flush()
-        os.fsync(handle.fileno())
-    os.replace(temp, path)
+    fd, temp = tempfile.mkstemp(dir=path.parent,
+                                prefix=path.name + ".tmp")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.chmod(temp, 0o644)  # mkstemp defaults to 0600
+        os.replace(temp, path)
+    except BaseException:
+        try:
+            os.unlink(temp)
+        except OSError:
+            pass
+        raise
     directory_fd = os.open(path.parent, os.O_RDONLY)
     try:
         os.fsync(directory_fd)

@@ -37,7 +37,11 @@ def running_service(root, start=True, **overrides):
     thread = threading.Thread(target=server.serve_forever, daemon=True)
     thread.start()
     try:
-        yield service, Client.from_root(config.root, timeout=120.0)
+        # retries=0: unit tests assert raw rejection semantics (429/503);
+        # the client's transparent retry layer is exercised on its own in
+        # tests/test_service_faults.py and benchmarks/bench_chaos.py.
+        yield service, Client.from_root(config.root, timeout=120.0,
+                                        retries=0)
     finally:
         service.drain()
         server.shutdown()
