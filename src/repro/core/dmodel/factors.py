@@ -58,12 +58,36 @@ from repro.mapping.mapping import (
     ordering_for_tensor,
 )
 from repro.mapping.rounding import round_mapping
+from repro.mapping.rounding_walk import RoundingTables, round_factor_tensors
 from repro.workloads.layer import DIMENSIONS, LayerDims
 
 # Levels whose temporal factors are free optimization variables.
 OPTIMIZED_LEVELS: tuple[int, ...] = (0, 1, 2)
 _MIN_LOG_FACTOR = np.log(1e-3)
 _MAX_LOG_FACTOR = np.log(1e9)
+
+
+def _raw_factor_tensors(log_temporal: np.ndarray,
+                        log_spatial: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Clamped-exp factor values in :class:`Mapping` layout.
+
+    ``log_temporal`` is ``(..., len(OPTIMIZED_LEVELS), NUM_DIMS)`` and
+    ``log_spatial`` is ``(..., len(SPATIAL_DIMS))``; the leading axes (layer,
+    or start x layer) pass through.  Returns ``(temporal, spatial)`` arrays of
+    shape ``(..., NUM_LEVELS, NUM_DIMS)`` holding exactly the values the
+    per-mapping snapshot methods write — same exp, same clamp — with ones at
+    every position the snapshot leaves untouched (the rounding walk ignores
+    the DRAM temporal row and resets non-WS spatial positions itself).
+    """
+    shape = log_temporal.shape[:-2] + (NUM_LEVELS, NUM_DIMS)
+    temporal = np.ones(shape)
+    spatial = np.ones(shape)
+    temporal[..., list(OPTIMIZED_LEVELS), :] = np.exp(
+        np.clip(log_temporal, _MIN_LOG_FACTOR, _MAX_LOG_FACTOR))
+    values = np.exp(np.clip(log_spatial, _MIN_LOG_FACTOR, _MAX_LOG_FACTOR))
+    for position, (level, dim) in enumerate(SPATIAL_DIMS):
+        spatial[..., level, DIM_INDEX[dim]] = values[..., position]
+    return temporal, spatial
 
 
 class LayerFactors:
@@ -425,10 +449,29 @@ class NetworkFactors:
             mappings.append(mapping.with_dram_inferred())
         return mappings
 
-    def rounded_mappings(self, max_spatial: float | None = None) -> list[Mapping]:
-        """Nearest valid mapping per layer (Section 5.3.2)."""
-        return [round_mapping(mapping, max_spatial=max_spatial)
-                for mapping in self.snapshot_mappings()]
+    def rounded_mappings(self, max_spatial: float | None = None,
+                         batched: bool = True) -> list[Mapping]:
+        """Nearest valid mapping per layer (Section 5.3.2).
+
+        ``batched=True`` rounds every layer in one pass of the vectorized
+        walk (:mod:`repro.mapping.rounding_walk`), bit-identical to the
+        scalar :func:`~repro.mapping.rounding.round_mapping` oracle, which
+        ``batched=False`` keeps running per mapping.
+        """
+        if not batched:
+            return [round_mapping(mapping, max_spatial=max_spatial)
+                    for mapping in self.snapshot_mappings()]
+        temporal, spatial = _raw_factor_tensors(self.log_temporal.data,
+                                                self.log_spatial.data)
+        out_temporal, out_spatial = round_factor_tensors(
+            temporal[None], spatial[None], RoundingTables.for_layers(self.layers),
+            max_spatial=max_spatial)
+        return [
+            Mapping(layer=layer, temporal=out_temporal[0, index].copy(),
+                    spatial=out_spatial[0, index].copy(),
+                    orderings=self.orderings[index])
+            for index, layer in enumerate(self.layers)
+        ]
 
     def with_uniform_orderings(self, ordering: LoopOrdering) -> "NetworkFactors":
         """Shallow view sharing parameters, with ``ordering`` at every level.
@@ -670,13 +713,48 @@ class MultiStartFactors(NetworkFactors):
         """Every start point's snapshot mappings, start-major."""
         return [self.snapshot_mappings_of(start) for start in range(self.num_starts)]
 
+    def rounded_mapping_sets(
+        self,
+        starts: Sequence[int] | None = None,
+        max_spatial: float | None = None,
+    ) -> list[list[Mapping]]:
+        """Selected starts' nearest valid mappings in one vectorized walk.
+
+        The cross-start counterpart of per-start :meth:`rounded_mappings_of`:
+        all selected starts' fractional factors go through a single
+        ``(S, L)`` pass of the integer-rounding kernel
+        (:mod:`repro.mapping.rounding_walk`), producing mappings bit-identical
+        to rounding each start alone.  ``starts`` defaults to every start
+        point; the result is ordered like ``starts``.
+        """
+        if starts is None:
+            starts = range(self.num_starts)
+        starts = [int(start) for start in starts]
+        for start in starts:
+            if not 0 <= start < self.num_starts:
+                raise ValueError(f"start index {start} out of range "
+                                 f"[0, {self.num_starts})")
+        temporal, spatial = _raw_factor_tensors(
+            self.log_temporal.data[starts], self.log_spatial.data[starts])
+        out_temporal, out_spatial = round_factor_tensors(
+            temporal, spatial, RoundingTables.for_layers(self.layers),
+            max_spatial=max_spatial)
+        return [
+            [Mapping(layer=layer, temporal=out_temporal[i, index].copy(),
+                     spatial=out_spatial[i, index].copy(),
+                     orderings=self.start_orderings[start][index])
+             for index, layer in enumerate(self.layers)]
+            for i, start in enumerate(starts)
+        ]
+
     # The single-start accessors of NetworkFactors are shape-ambiguous here.
     def snapshot_mappings(self):  # pragma: no cover - guard rail
         raise TypeError("use snapshot_mappings_of(start) / snapshot_mapping_sets() "
                         "on MultiStartFactors")
 
-    def rounded_mappings(self, max_spatial=None):  # pragma: no cover - guard rail
-        raise TypeError("use rounded_mappings_of(start) on MultiStartFactors")
+    def rounded_mappings(self, max_spatial=None, batched=True):  # pragma: no cover - guard rail
+        raise TypeError("use rounded_mappings_of(start) / rounded_mapping_sets() "
+                        "on MultiStartFactors")
 
     def load_mappings(self, mappings):  # pragma: no cover - guard rail
         raise TypeError("use load_mapping_sets({start: mappings}) on MultiStartFactors")

@@ -184,7 +184,7 @@ def softmax_ordering_loss(
 def best_ordering_per_layer(
     all_factors: "Sequence[LayerFactors] | NetworkFactors",
     hardware: DifferentiableHardware | None = None,
-) -> list[LoopOrdering]:
+) -> "list[LoopOrdering] | list[list[LoopOrdering]]":
     """Iterative loop-ordering selection (Section 5.2.1).
 
     For each layer, evaluate the WS/IS/OS orderings under the differentiable
@@ -194,10 +194,28 @@ def best_ordering_per_layer(
     by layer; the batched EDPs are bit-identical to the per-layer model and
     ``argmin`` keeps the first minimum, so selections match the per-layer
     strict-``<`` scan decision-for-decision.
+
+    Given a :class:`MultiStartFactors` (all starts' rounded mappings
+    restacked, as at a batched rounding point), the same three evaluations
+    produce a ``(3, S, L)`` EDP tensor whose per-start rows are bit-identical
+    to the single-start matrices — start points share no graph entries — and
+    the result is one list of per-layer selections per start.
     """
     if isinstance(all_factors, MultiStartFactors):
-        raise TypeError("best_ordering_per_layer selects per rounded start point; "
-                        "pass NetworkFactors.from_mappings(rounded) per start")
+        from repro.autodiff import no_grad
+
+        with no_grad():
+            grid = all_factors.factor_grid()
+            if hardware is None:
+                hardware = DifferentiableModel.derive_hardware(all_factors, grid=grid)
+            edps = np.stack([
+                DifferentiableModel.evaluate_layer(
+                    all_factors.with_uniform_orderings(ordering), hardware, grid
+                ).edp.data
+                for ordering in _CANDIDATE_ORDERINGS
+            ])
+        return [[_CANDIDATE_ORDERINGS[index] for index in row]
+                for row in np.argmin(edps, axis=0)]
     if isinstance(all_factors, NetworkFactors):
         from repro.autodiff import no_grad
 

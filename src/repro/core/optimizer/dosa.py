@@ -115,6 +115,17 @@ class DosaSettings:
     the sample allowance runs short, and every still-active start receives a
     final rounding evaluation) differ.  It requires — and is only consulted
     with — ``batched_model=True``.
+
+    ``batched_rounding`` vectorizes the rounding points themselves: the
+    nearest-divisor walk runs as one ``(S, L)`` integer-rounding kernel
+    (:mod:`repro.mapping.rounding_walk`) over every active start at once, and
+    ITERATE ordering re-selection restacks all starts' rounded mappings into
+    a single :class:`~repro.core.dmodel.factors.MultiStartFactors` pass — two
+    kernel calls per rounding point instead of S x L Python walks.  Rounded
+    mappings are bit-identical to the scalar
+    :func:`~repro.mapping.rounding.round_mapping` oracle (property-fuzzed in
+    ``tests/test_rounding_parity.py``) and re-selections match decision for
+    decision, so seeded outcomes are design-identical with the flag off.
     """
 
     num_start_points: int = 7
@@ -127,6 +138,7 @@ class DosaSettings:
     batched_model: bool = True
     use_tape: bool = True
     batched_starts: bool = True
+    batched_rounding: bool = True
     fixed_pe_dim: int | None = None
     # A fresh HardwareBounds per settings object (never the shared module-level
     # DEFAULT_BOUNDS instance) so one searcher's bounds can't leak into another.
@@ -273,7 +285,12 @@ class DosaSearcher:
                                 engine: EvaluationEngine) -> None:
         """Round + reference-evaluate every active start, then re-snap them.
 
-        All active starts' reference evaluations go through one
+        Under ``batched_rounding`` (the default) the walk itself is batched
+        too: one ``(S, L)`` pass of the integer-rounding kernel rounds every
+        active start, and one restacked :class:`MultiStartFactors` pass
+        re-selects all starts' orderings, so a rounding point costs two
+        kernel calls plus the evaluation batch.  All active starts' reference
+        evaluations then go through one
         :meth:`~repro.eval.engine.EvaluationEngine.evaluate_network_sets`
         call: the traffic analysis is hardware-independent, so S starts' L
         mappings share a single vectorized pass even when each start derived
@@ -284,12 +301,16 @@ class DosaSearcher:
         max_spatial = (self.settings.fixed_pe_dim
                        or self.settings.bounds.max_pe_dim)
         starts = [int(start) for start in np.flatnonzero(active)]
-        prepared = [
-            self._prepare_rounded(
-                factors.rounded_mappings_of(start, max_spatial=max_spatial),
-                batched_ordering=True)
-            for start in starts
-        ]
+        if self.settings.batched_rounding:
+            prepared = self._prepare_rounded_sets(
+                factors.rounded_mapping_sets(starts, max_spatial=max_spatial))
+        else:
+            prepared = [
+                self._prepare_rounded(
+                    factors.rounded_mappings_of(start, max_spatial=max_spatial),
+                    batched_ordering=True)
+                for start in starts
+            ]
         performances = engine.evaluate_network_sets(prepared)
         snapped: dict[int, list[Mapping]] = {}
         for start, (rounded, hardware), performance in zip(starts, prepared,
@@ -389,7 +410,9 @@ class DosaSearcher:
         max_spatial = (self.settings.fixed_pe_dim
                        or self.settings.bounds.max_pe_dim)
         if isinstance(factors, NetworkFactors):
-            rounded = factors.rounded_mappings(max_spatial=max_spatial)
+            rounded = factors.rounded_mappings(
+                max_spatial=max_spatial,
+                batched=self.settings.batched_rounding)
         else:
             rounded = [f.rounded_mapping(max_spatial=max_spatial) for f in factors]
 
@@ -427,7 +450,37 @@ class DosaSearcher:
                 )
             rounded = [m.with_orderings([ordering] * NUM_LEVELS)
                        for m, ordering in zip(rounded, selections)]
+        return self._derive_hardware_for(rounded)
 
+    def _prepare_rounded_sets(
+        self, rounded_sets: list[list[Mapping]],
+    ) -> list[tuple[list[Mapping], HardwareConfig]]:
+        """Ordering re-selection + hardware derivation for all rounded starts.
+
+        The cross-start counterpart of per-start :meth:`_prepare_rounded`:
+        ITERATE re-selection restacks every start's rounded mappings into one
+        :class:`MultiStartFactors` and selects all starts' orderings in a
+        single ``(3, S, L)`` EDP pass — per-start rows are bit-identical to
+        the per-start ``(3, L)`` matrices, so decisions match.  Hardware
+        derivation stays per start (each start's mappings imply their own
+        minimal configuration).
+        """
+        settings = self.settings
+        if settings.ordering_strategy is LoopOrderingStrategy.ITERATE and rounded_sets:
+            selections = best_ordering_per_layer(
+                MultiStartFactors.from_mapping_sets(rounded_sets))
+            rounded_sets = [
+                [m.with_orderings([ordering] * NUM_LEVELS)
+                 for m, ordering in zip(rounded, per_start)]
+                for rounded, per_start in zip(rounded_sets, selections)
+            ]
+        return [self._derive_hardware_for(rounded) for rounded in rounded_sets]
+
+    def _derive_hardware_for(
+        self, rounded: list[Mapping],
+    ) -> tuple[list[Mapping], HardwareConfig]:
+        """Minimal hardware for one start's rounded mappings (+ PE override)."""
+        settings = self.settings
         hardware = minimal_hardware_for_mappings(rounded, bounds=settings.bounds)
         if settings.fixed_pe_dim is not None:
             hardware = HardwareConfig(

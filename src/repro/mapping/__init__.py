@@ -7,6 +7,9 @@ This package provides:
 * :class:`~repro.mapping.mapping.Mapping` — the factor/ordering container used
   by both the differentiable model and the iterative reference model,
 * rounding of fractional factors to the nearest valid divisors (Section 5.3.2),
+  both as a per-mapping scalar walk (the parity oracle) and as a vectorized
+  ``(S, L)`` integer-rounding kernel over stacked factor tensors
+  (:mod:`~repro.mapping.rounding_walk`),
 * a random valid mapper (used by the search baselines and the correlation and
   surrogate-training datasets),
 * a CoSA-style heuristic mapper used to seed gradient-descent start points and
@@ -21,6 +24,11 @@ from repro.mapping.mapping import (
     DEFAULT_ORDERINGS,
 )
 from repro.mapping.rounding import round_mapping, round_factors_for_dimension
+from repro.mapping.rounding_walk import (
+    RoundingTables,
+    round_factor_tensors,
+    round_mapping_batch,
+)
 from repro.mapping.constraints import (
     mapping_is_valid,
     validate_mapping,
@@ -40,6 +48,9 @@ __all__ = [
     "DEFAULT_ORDERINGS",
     "round_mapping",
     "round_factors_for_dimension",
+    "RoundingTables",
+    "round_factor_tensors",
+    "round_mapping_batch",
     "mapping_is_valid",
     "validate_mapping",
     "mapping_fits_hardware",

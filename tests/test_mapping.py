@@ -16,6 +16,7 @@ from repro.mapping import (
     minimal_hardware_for_mappings,
     random_mapping,
     random_mapping_for_hardware,
+    round_factors_for_dimension,
     round_mapping,
     validate_mapping,
 )
@@ -170,6 +171,46 @@ class TestRounding:
         noisy.spatial *= rng.uniform(0.4, 2.5, size=noisy.spatial.shape)
         rounded = round_mapping(noisy, max_spatial=128)
         assert mapping_is_valid(rounded)
+
+
+class TestRoundingEdgeCases:
+    def test_remaining_exhausted_by_innermost_level(self):
+        # Q=7 is prime: once the innermost factor takes all of it, every
+        # outer position (including DRAM) must round to 1 regardless of its
+        # raw value.
+        layer = LayerDims(R=1, S=1, P=4, Q=7, C=8, K=8, N=1, name="edge")
+        mapping = Mapping(layer=layer)
+        mapping.set_temporal(0, "Q", 6.9)
+        mapping.set_temporal(1, "Q", 5.0)
+        mapping.set_temporal(2, "Q", 3.0)
+        round_factors_for_dimension(mapping, "Q")
+        assert mapping.temporal_factor(0, "Q") == 7
+        assert mapping.temporal_factor(1, "Q") == 1
+        assert mapping.temporal_factor(2, "Q") == 1
+        assert mapping.temporal_factor(3, "Q") == 1
+
+    def test_dimension_of_size_one(self):
+        layer = LayerDims(R=1, S=1, P=4, Q=4, C=8, K=8, N=1, name="unit")
+        mapping = Mapping(layer=layer)
+        mapping.set_temporal(0, "R", 3.7)
+        mapping.set_temporal(2, "R", 2.2)
+        round_factors_for_dimension(mapping, "R")
+        assert all(mapping.temporal_factor(level, "R") == 1
+                   for level in range(4))
+
+    def test_cap_below_one_is_rejected(self):
+        mapping = fig3_mapping()
+        with pytest.raises(ValueError):
+            round_factors_for_dimension(mapping, "C", max_spatial=0.25)
+        with pytest.raises(ValueError):
+            round_mapping(mapping, max_spatial=0.999)
+
+    def test_fractional_cap_rounds_to_nearest_integer(self):
+        # A mesh bound computed as 15.999999… must behave as 16, not 15.
+        mapping = fig3_mapping()
+        rounded = round_mapping(mapping, max_spatial=15.999999)
+        assert rounded.spatial_factor(1, "C") == 16
+        assert rounded.spatial_factor(2, "K") == 16
 
 
 class TestRandomMapper:

@@ -20,6 +20,7 @@ from repro.core.dmodel import (
     LayerFactors,
     MultiStartFactors,
     NetworkFactors,
+    best_ordering_per_layer,
     network_edp_loss,
     softmax_ordering_loss,
     validity_penalty,
@@ -336,3 +337,66 @@ class TestEndToEndOutcome:
         assert len(batched.candidates) == len(sequential.candidates)
         assert (sorted(candidate.edp for candidate in batched.candidates)
                 == sorted(candidate.edp for candidate in sequential.candidates))
+
+
+class TestBatchedRoundingWalk:
+    """The vectorized rounding point against the scalar per-start walk."""
+
+    def test_rounded_mapping_sets_match_per_start_walks(self):
+        multi, _, _ = _random_starts(5)
+        batched_sets = multi.rounded_mapping_sets(max_spatial=16)
+        for start, rounded_set in enumerate(batched_sets):
+            reference = multi.rounded_mappings_of(start, max_spatial=16)
+            for ours, theirs in zip(rounded_set, reference):
+                np.testing.assert_array_equal(ours.temporal, theirs.temporal)
+                np.testing.assert_array_equal(ours.spatial, theirs.spatial)
+                assert ours.orderings == theirs.orderings
+
+    def test_rounded_mapping_sets_selects_starts(self):
+        multi, _, _ = _random_starts(6)
+        subset = multi.rounded_mapping_sets(starts=[2, 0], max_spatial=16)
+        assert len(subset) == 2
+        for rounded_set, start in zip(subset, (2, 0)):
+            reference = multi.rounded_mappings_of(start, max_spatial=16)
+            for ours, theirs in zip(rounded_set, reference):
+                np.testing.assert_array_equal(ours.temporal, theirs.temporal)
+        with pytest.raises(ValueError):
+            multi.rounded_mapping_sets(starts=[NUM_STARTS])
+
+    def test_batched_reselection_matches_per_start(self):
+        """One (3, S, L) ordering pass decides exactly like S (3, L) passes."""
+        multi, _, _ = _random_starts(9)
+        rounded_sets = multi.rounded_mapping_sets(max_spatial=16)
+        batched = best_ordering_per_layer(
+            MultiStartFactors.from_mapping_sets(rounded_sets))
+        per_start = [
+            best_ordering_per_layer(NetworkFactors.from_mappings(rounded))
+            for rounded in rounded_sets
+        ]
+        assert batched == per_start
+
+    @pytest.mark.parametrize("strategy", list(LoopOrderingStrategy))
+    @pytest.mark.parametrize("batched_starts", [False, True])
+    def test_seeded_outcomes_match_scalar_walk(self, strategy, batched_starts):
+        """Same seed => design-identical outcome, kernel walk vs scalar walk."""
+        outcomes = {}
+        for batched_rounding in (False, True):
+            settings = DosaSettings(num_start_points=2, gd_steps=24,
+                                    rounding_period=8, seed=0,
+                                    batched_starts=batched_starts,
+                                    batched_rounding=batched_rounding,
+                                    ordering_strategy=strategy)
+            outcomes[batched_rounding] = repro.optimize(
+                "bert", strategy="dosa", settings=settings)
+        scalar, batched = outcomes[False], outcomes[True]
+        assert batched.best_hardware == scalar.best_hardware
+        for ours, theirs in zip(batched.best_mappings, scalar.best_mappings):
+            np.testing.assert_array_equal(ours.temporal, theirs.temporal)
+            np.testing.assert_array_equal(ours.spatial, theirs.spatial)
+            assert ours.orderings == theirs.orderings
+        assert batched.best_edp == scalar.best_edp
+        assert batched.total_samples == scalar.total_samples
+        # The walk changes no scheduling, only its implementation: with the
+        # same batched_starts setting the candidate *order* is identical too.
+        assert ([candidate.edp for candidate in batched.candidates]
+                == [candidate.edp for candidate in scalar.candidates])

@@ -106,6 +106,20 @@ class TestRoundToNearestDivisor:
     def test_max_below_all_divisors_gives_one(self):
         assert round_to_nearest_divisor(10, 13, max_value=5) == 1
 
+    def test_max_below_one_falls_back_to_one(self):
+        # Even the divisor 1 is over this limit: the documented fallback is
+        # still a factor of 1, never an empty candidate list.
+        assert round_to_nearest_divisor(10, 12, max_value=0) == 1
+
+    def test_exhausted_remaining_has_only_divisor_one(self):
+        # remaining == 1 (the dimension is fully consumed by inner levels).
+        assert round_to_nearest_divisor(5.0, 1) == 1
+
+    def test_halfway_tie_rounds_down(self):
+        # 9 is exactly halfway between the divisors 6 and 12 of 12; the
+        # strict-< scan keeps the first (smaller) candidate.
+        assert round_to_nearest_divisor(9.0, 12) == 6
+
     @given(st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
            st.integers(min_value=1, max_value=5000))
     def test_result_is_divisor(self, value, n):
